@@ -1,0 +1,52 @@
+"""Ablation benches on the design choices DESIGN.md calls out."""
+
+from conftest import save
+
+from repro.experiments import (
+    ablation_conservative_mode,
+    ablation_pipeline_throughput,
+    ablation_tokens,
+)
+
+
+def test_ablation_conservative_mode(benchmark, results_dir, scale, full_scale):
+    """Locality monitor off / adaptive / always-on under a small L1."""
+    result = benchmark.pedantic(
+        lambda: ablation_conservative_mode(scale=scale), rounds=1, iterations=1
+    )
+    save(results_dir, "ablation_conservative", result.render())
+    if not full_scale:
+        return
+    by_case = {}
+    for case, mode, cycles, _, _ in result.rows:
+        by_case.setdefault(case, {})[mode] = cycles
+    for case, modes in by_case.items():
+        # Adaptive never loses badly to the better fixed mode.
+        assert modes["adaptive"] <= 1.10 * min(modes["off"], modes["always"]), case
+
+
+def test_ablation_tokens(benchmark, results_dir, scale, full_scale):
+    """Per-depth token count: parallelism vs memory footprint."""
+    result = benchmark.pedantic(lambda: ablation_tokens(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "ablation_tokens", result.render())
+    if not full_scale:
+        return
+    first, last = result.rows[0], result.rows[-1]
+    assert last[2] > 1.2  # 8 tokens clearly faster than 1
+    assert last[3] >= first[3]  # ...at a larger/equal footprint
+
+
+def test_ablation_pipeline(benchmark, results_dir, scale, full_scale):
+    """PE pipeline throughput (the paper's stated future work)."""
+    result = benchmark.pedantic(
+        lambda: ablation_pipeline_throughput(scale=scale), rounds=1, iterations=1
+    )
+    save(results_dir, "ablation_pipeline", result.render())
+    if not full_scale:
+        return
+    gains = {}
+    for case, throughput, _, speedup, _ in result.rows:
+        gains.setdefault(case, {})[throughput] = speedup
+    # Tiny-task workloads benefit much more than the compute-dense one.
+    assert gains["wi-tt_e"][4.0] > gains["as-4cl"][4.0]
+    assert gains["wi-tt_e"][4.0] > 1.15

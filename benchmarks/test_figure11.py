@@ -1,0 +1,28 @@
+"""Figure 11: task-tree splitting (load balance) on wi at 20 PEs."""
+
+from conftest import save
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, results_dir, scale, full_scale):
+    """Fig. 11: Shogun ± load balance, 20 PEs, Wiki-Vote.
+
+    Paper: +24% average improvement.  At the reproduction's dataset
+    scale most patterns show no tail imbalance (DESIGN.md §1), so the
+    asserted shape is weaker: splitting fires on imbalanced patterns,
+    visibly helps at least one, and never hurts.
+    """
+    result = benchmark.pedantic(lambda: figure11(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "figure11", result.render())
+    if not full_scale:
+        return
+    gains = []
+    partitions = 0
+    for row in result.rows:
+        plain, balanced = row[1], row[2]
+        gains.append(balanced / plain)
+        partitions += row[4]
+    assert partitions > 0, "splitting never engaged"
+    assert max(gains) > 1.05, "splitting never helped"
+    assert min(gains) > 0.97, "splitting caused a regression"

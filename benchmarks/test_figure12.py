@@ -1,0 +1,30 @@
+"""Figure 12: search-tree merging across the evaluation grid."""
+
+from conftest import save
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, results_dir, scale, full_scale):
+    """Fig. 12: Shogun ± merging vs FINGERS.
+
+    Paper: merging is most effective on the low-degree graphs (yo, pa)
+    whose single trees cannot fill a PE, and the overall design reaches
+    +63% geomean.  Asserted shapes: merging never breaks counts (runner
+    verifies), helps the sparse datasets, and the merged geomean is at
+    least the plain geomean.
+    """
+    result = benchmark.pedantic(lambda: figure12(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "figure12", result.render())
+    if not full_scale:
+        return
+    gm_plain = result.raw["geomean_plain"]
+    gm_merged = result.raw["geomean_merged"]
+    assert gm_merged >= gm_plain * 0.98
+    # Merging helps somewhere on the sparse datasets.
+    sparse_gains = [
+        row[2] / row[1]
+        for row in result.rows
+        if row[0].startswith(("yo", "pa")) and row[1] > 0
+    ]
+    assert max(sparse_gains) > 1.02

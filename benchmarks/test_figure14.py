@@ -1,0 +1,28 @@
+"""Figure 14: locality monitoring necessity (enlarged-L1 comparison)."""
+
+from conftest import save
+
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark, results_dir, scale, full_scale):
+    """Fig. 14: Shogun vs FINGERS vs parallel-DFS with enlarged L1s.
+
+    Paper: even with a conservatively enlarged L1, parallel-DFS still
+    thrashes on troublesome graph/pattern combinations, whereas Shogun's
+    conservative mode avoids the collapse.  Asserted shapes: Shogun is
+    at least competitive with FINGERS everywhere and never loses to
+    parallel-DFS by more than a whisker; parallel-DFS loses badly
+    somewhere.
+    """
+    result = benchmark.pedantic(lambda: figure14(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "figure14", result.render())
+    if not full_scale:
+        return
+    shogun_vs_pdfs = []
+    for row in result.rows:
+        _, _, fingers, shogun, pdfs, _ = row
+        assert shogun >= fingers * 0.90, row
+        shogun_vs_pdfs.append(shogun / pdfs if pdfs else float("inf"))
+    # parallel-DFS collapses on at least one thrash-prone case.
+    assert max(shogun_vs_pdfs) > 1.10

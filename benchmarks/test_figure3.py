@@ -1,0 +1,42 @@
+"""Figure 3: the pseudo-DFS vs parallel-DFS motivation experiments."""
+
+from conftest import save
+
+from repro.experiments import figure3a, figure3b
+
+
+def test_figure3a(benchmark, results_dir, scale, full_scale):
+    """Fig. 3(a): speedup & FU utilization vs width on as-4cl.
+
+    Shape claim: out-of-order (parallel-DFS) clearly beats pseudo-DFS at
+    the full execution width, with a higher FU utilization rate.
+    """
+    result = benchmark.pedantic(lambda: figure3a(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "figure3a", result.render())
+    if not full_scale:
+        return
+    pseudo_best = max(row[1] for row in result.rows)
+    parallel_best = max(row[3] for row in result.rows)
+    # Out-of-order exploration clearly exceeds pseudo-DFS's ceiling.
+    assert parallel_best > pseudo_best * 1.1
+    # Both schemes scale up from width 1.
+    assert pseudo_best > 1.2 and parallel_best > 1.5
+
+
+def test_figure3b(benchmark, results_dir, scale, full_scale):
+    """Fig. 3(b): speedup & L1 hit rate vs width on yo-tt.
+
+    Shape claim: parallel-DFS's L1 hit rate collapses as the width grows
+    and its speedup falls behind pseudo-DFS — locality monitoring is
+    necessary.
+    """
+    result = benchmark.pedantic(lambda: figure3b(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "figure3b", result.render())
+    if not full_scale:
+        return
+    last = result.rows[-1]
+    pseudo_speedup, pseudo_latency = last[1], last[3]
+    parallel_speedup, parallel_latency = last[4], last[6]
+    # At the full width the locality loss is visible and costly:
+    assert parallel_latency > pseudo_latency * 2.0
+    assert parallel_speedup < pseudo_speedup

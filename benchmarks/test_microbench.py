@@ -1,0 +1,48 @@
+"""Micro-benchmarks of the library's hot paths (pytest-benchmark timing).
+
+These are conventional performance benchmarks (multiple rounds) for the
+primitives everything else is built on: sorted-set ops, the reference
+miner, and simulator task throughput.
+"""
+
+import numpy as np
+
+from repro.graph import erdos_renyi_gnm
+from repro.mining import intersect, mine, subtract
+from repro.patterns import benchmark_schedule
+from repro.sim import SimConfig, simulate
+
+
+def test_bench_intersect(benchmark):
+    rng = np.random.default_rng(0)
+    a = np.unique(rng.integers(0, 10000, size=2000))
+    b = np.unique(rng.integers(0, 10000, size=2000))
+    result = benchmark(lambda: intersect(a, b))
+    assert len(result) > 0
+
+
+def test_bench_subtract(benchmark):
+    rng = np.random.default_rng(1)
+    a = np.unique(rng.integers(0, 10000, size=2000))
+    b = np.unique(rng.integers(0, 10000, size=2000))
+    result = benchmark(lambda: subtract(a, b))
+    assert len(result) > 0
+
+
+def test_bench_miner_4clique(benchmark):
+    graph = erdos_renyi_gnm(150, 900, seed=3)
+    schedule = benchmark_schedule("4cl")
+    result = benchmark(lambda: mine(graph, schedule))
+    assert result.count > 0
+
+
+def test_bench_simulator_throughput(benchmark):
+    graph = erdos_renyi_gnm(60, 240, seed=5)
+    schedule = benchmark_schedule("4cl")
+    config = SimConfig(num_pes=2, l1_kb=4, l2_kb=64)
+    result = benchmark.pedantic(
+        lambda: simulate(graph, schedule, policy="shogun", config=config),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0

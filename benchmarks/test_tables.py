@@ -1,0 +1,51 @@
+"""Benchmarks regenerating the paper's tables (1, 2, 3, 4)."""
+
+from conftest import save
+
+from repro.experiments import table1, table2, table3, table4
+
+
+def test_table1(benchmark, results_dir, scale, full_scale):
+    """Table 1: qualitative scheme comparison, measured on wi-4cl."""
+    result = benchmark.pedantic(
+        lambda: table1("wi", "4cl", scale=scale), rounds=1, iterations=1
+    )
+    save(results_dir, "table1", result.render())
+    if not full_scale:
+        return
+    runs = result.raw["runs"]
+    # BFS's memory explosion vs the stack/token-bounded schemes.
+    assert runs["bfs"].peak_footprint_bytes > 2 * runs["dfs"].peak_footprint_bytes
+    # DFS leaves the execution width unused.
+    assert runs["dfs"].slot_utilization < runs["shogun"].slot_utilization
+    # Shogun stalls less than the barriered schemes.
+    assert (
+        runs["shogun"].barrier_idle_fraction
+        < runs["pseudo-dfs"].barrier_idle_fraction
+    )
+
+
+def test_table2(benchmark, results_dir, scale):
+    """Table 2: avg intermediate cache lines per task (miner-measured)."""
+    result = benchmark.pedantic(lambda: table2(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "table2", result.render())
+    values = result.raw
+    # All values stay far below the L1 capacity (the Insight 2 argument):
+    assert all(v < 64 for v in values.values())
+    # tt needs the least intermediate input (only depth-1 intersects).
+    for ds in ("wi", "as"):
+        assert values[f"{ds}-tt_e"] <= values[f"{ds}-4cl"]
+
+
+def test_table3(benchmark, results_dir):
+    """Table 3: the active (scaled) simulator configuration."""
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    save(results_dir, "table3", result.render())
+    assert "178 task tree entries" in result.render()
+
+
+def test_table4(benchmark, results_dir, scale):
+    """Table 4: dataset roster, paper originals vs synthetic stand-ins."""
+    result = benchmark.pedantic(lambda: table4(scale=scale), rounds=1, iterations=1)
+    save(results_dir, "table4", result.render())
+    assert len(result.rows) == 6

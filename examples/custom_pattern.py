@@ -1,0 +1,53 @@
+"""Bring your own pattern: schedule generation for arbitrary patterns.
+
+Run with::
+
+    python examples/custom_pattern.py
+
+The paper's machinery is not limited to the six benchmark patterns:
+``repro.patterns`` generates a symmetry-broken schedule for any small
+connected pattern.  This example mines the 5-vertex *house* pattern (a
+4-cycle with a roof triangle), validates the schedule against the
+brute-force oracle, and runs it through the accelerator.
+"""
+
+from repro.experiments import eval_config
+from repro.graph import erdos_renyi_gnm
+from repro.mining import count_matches, count_unique_subgraphs
+from repro.patterns import Pattern, automorphism_count, best_schedule, house
+from repro.sim import simulate
+
+
+def main() -> None:
+    pattern = house()
+    print(f"pattern: {pattern!r}")
+    print(f"|Aut| = {automorphism_count(pattern)}")
+
+    schedule = best_schedule(pattern, num_vertices=200, avg_degree=8.0)
+    print()
+    print(schedule.describe())
+
+    graph = erdos_renyi_gnm(200, 800, seed=42, name="er200")
+    exact = count_matches(graph, schedule)
+    oracle = count_unique_subgraphs(graph, pattern)
+    print()
+    print(f"houses in {graph.name}: {exact} (oracle: {oracle})")
+    assert exact == oracle
+
+    metrics = simulate(graph, schedule, policy="shogun", config=eval_config())
+    assert metrics.matches == exact
+    print(metrics.summary())
+
+    # Vertex-induced variant of the same pattern.
+    induced = best_schedule(pattern, induced=True, num_vertices=200, avg_degree=8.0)
+    vi = count_matches(graph, induced)
+    print(f"vertex-induced houses: {vi} (subset of edge-induced: {vi <= exact})")
+
+    # And a pattern assembled from scratch: the 'bull' (triangle + two horns).
+    bull = Pattern(5, [(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)], name="bull")
+    bull_schedule = best_schedule(bull)
+    print(f"bulls: {count_matches(graph, bull_schedule)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Shogun: a task scheduling framework for graph mining accelerators.
+
+A from-scratch Python reproduction of the ISCA 2023 paper, comprising:
+
+* :mod:`repro.graph` — CSR graphs, synthetic datasets, statistics;
+* :mod:`repro.patterns` — patterns, automorphisms, GraphPi-style schedules;
+* :mod:`repro.mining` — set operations, search-tree semantics, reference
+  miners (exact counting);
+* :mod:`repro.sim` — the event-driven cycle-accounting accelerator
+  simulator (PEs, SPM/L1/L2/DRAM/NoC, IU pools);
+* :mod:`repro.core` — the Shogun contribution: the task tree, the five
+  scheduling policies, the conservative-mode locality monitor, task-tree
+  splitting and search-tree merging;
+* :mod:`repro.experiments` — the harness regenerating every table and
+  figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.graph import load_dataset
+    from repro.patterns import benchmark_schedule
+    from repro.sim import simulate
+
+    graph = load_dataset("wi", scale=0.5)
+    schedule = benchmark_schedule("4cl")
+    shogun = simulate(graph, schedule, policy="shogun")
+    fingers = simulate(graph, schedule, policy="fingers")
+    print(f"speedup: {shogun.speedup_over(fingers):.2f}x")
+"""
+
+__version__ = "0.1.0"
+
+from .errors import (
+    ConfigError,
+    GraphError,
+    PatternError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+
+__all__ = [
+    "ConfigError",
+    "GraphError",
+    "PatternError",
+    "ReproError",
+    "ScheduleError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: count, simulate and regenerate experiments.
+
+Usage (also via ``python -m repro``)::
+
+    repro datasets                                  # list Table-4 stand-ins
+    repro count --dataset wi --pattern 4cl          # exact software count
+    repro count --edge-list g.txt --pattern tc      # your own graph
+    repro simulate --dataset wi --pattern 4cl --policy shogun fingers
+    repro experiment figure9 table2 ...             # regenerate artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .experiments import eval_config
+from .graph import compute_stats, dataset_codes, get_spec, load_dataset, load_edge_list
+from .mining import mine
+from .patterns import BENCHMARK_CODES, benchmark_schedule
+from .sim import POLICIES, simulate
+
+#: Experiment names accepted by ``repro experiment``.
+EXPERIMENTS = (
+    "table1", "table2", "table3", "table4",
+    "figure3a", "figure3b", "figure9", "figure10", "figure11",
+    "figure12", "figure13a", "figure13b", "figure14",
+    "ablation_conservative_mode", "ablation_tokens", "ablation_pipeline_throughput",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Shogun (ISCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    datasets = sub.add_parser("datasets", help="list the Table-4 dataset stand-ins")
+    datasets.add_argument("--scale", type=float, default=1.0)
+
+    count = sub.add_parser("count", help="exact match counting (software miner)")
+    _add_graph_args(count)
+    count.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
+
+    sim = sub.add_parser("simulate", help="simulate the accelerator")
+    _add_graph_args(sim)
+    sim.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
+    sim.add_argument(
+        "--policy", nargs="+", default=["shogun"], choices=sorted(POLICIES)
+    )
+    sim.add_argument("--pes", type=int, default=None, help="override PE count")
+    sim.add_argument("--width", type=int, default=None, help="override execution width")
+    sim.add_argument("--splitting", action="store_true", help="enable task-tree splitting")
+    sim.add_argument("--merging", action="store_true", help="enable search-tree merging")
+
+    experiment = sub.add_parser("experiment", help="regenerate paper artifacts")
+    experiment.add_argument("names", nargs="+", choices=EXPERIMENTS)
+    experiment.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=dataset_codes())
+    source.add_argument("--edge-list", help="path to a SNAP-style edge list")
+    parser.add_argument("--scale", type=float, default=1.0)
+
+
+def _load_graph(args):
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    return load_edge_list(args.edge_list)
+
+
+def cmd_datasets(args) -> int:
+    for code in dataset_codes():
+        spec = get_spec(code)
+        stats = compute_stats(load_dataset(code, scale=args.scale))
+        print(f"{code}: {spec.paper_name:12s} {stats.describe()}")
+        print(f"    {spec.notes}")
+    return 0
+
+
+def cmd_count(args) -> int:
+    graph = _load_graph(args)
+    schedule = benchmark_schedule(args.pattern)
+    start = time.time()
+    result = mine(graph, schedule)
+    elapsed = time.time() - start
+    print(f"graph: {compute_stats(graph).describe()}")
+    print(f"pattern {args.pattern}: {result.count} matches "
+          f"({result.stats.total_tasks} tasks, {elapsed:.2f}s)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    graph = _load_graph(args)
+    schedule = benchmark_schedule(args.pattern)
+    overrides = {}
+    if args.pes:
+        overrides["num_pes"] = args.pes
+    if args.width:
+        overrides.update(
+            execution_width=args.width,
+            bunch_entries=args.width,
+            tokens_per_depth=args.width,
+        )
+    if args.splitting:
+        overrides["enable_splitting"] = True
+    if args.merging:
+        overrides["enable_merging"] = True
+    config = eval_config(**overrides)
+    baseline = None
+    for policy in args.policy:
+        metrics = simulate(graph, schedule, policy=policy, config=config)
+        line = metrics.summary()
+        if baseline is None:
+            baseline = metrics
+        else:
+            line += f"  speedup vs {baseline.policy}: {metrics.speedup_over(baseline):.2f}x"
+        print(line)
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    import inspect
+
+    from . import experiments
+
+    for name in args.names:
+        fn = getattr(experiments, name)
+        kwargs = {}
+        if "scale" in inspect.signature(fn).parameters:
+            kwargs["scale"] = args.scale
+        result = fn(**kwargs)
+        print(result.render())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "datasets": cmd_datasets,
+        "count": cmd_count,
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Conservative-mode locality monitor (§3.2.3 and Figure 7).
+
+Shogun's out-of-order scheduling trades intermediate-data locality for
+parallelism.  Insight 2 says that is usually fine — *except* when the
+loss triggers L1 cache thrashing, which must be detected and damped.
+
+The monitor enters **conservative mode** when both Table 3 conditions
+hold:
+
+1. the L1 is thrashing — judged by the average L1 access latency
+   exceeding ``l1_latency_threshold`` (50 cycles): under thrashing a
+   recently visited block is evicted before reuse, so accesses keep
+   paying the L2/DRAM path;
+2. the PE throughput is low — the IU utilization rate is below
+   ``iu_util_threshold`` (50 %), i.e. the thrashing is actually hurting
+   and restoring locality can pay off.
+
+While conservative, the scheduler strictly disallows non-sibling tasks
+from executing together.  The mode is sticky: it exits only after
+``monitor_exit_epochs`` consecutive healthy observations, avoiding
+oscillation at the threshold.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a package cycle)
+    from ..sim.config import SimConfig
+
+
+class LocalityMonitor:
+    """Hysteretic thrashing detector driving the conservative mode."""
+
+    def __init__(self, config: "SimConfig") -> None:
+        if config.monitor_exit_epochs < 1:
+            raise ConfigError("monitor_exit_epochs must be >= 1")
+        self.config = config
+        self.conservative = False
+        self._healthy_streak = 0
+        self.entries = 0
+        self.observations = 0
+        self.conservative_observations = 0
+
+    def observe(self, l1_avg_latency: float, iu_utilization: float) -> bool:
+        """Fold one (latency, utilization) observation; returns the mode.
+
+        Called by the PE at epoch boundaries with its recent L1 average
+        access latency and recent IU utilization rate.
+        """
+        self.observations += 1
+        thrashing = l1_avg_latency > self.config.l1_latency_threshold
+        starving = iu_utilization < self.config.iu_util_threshold
+        if not self.conservative:
+            if thrashing and starving:
+                self.conservative = True
+                self.entries += 1
+                self._healthy_streak = 0
+        else:
+            if thrashing and starving:
+                self._healthy_streak = 0
+            else:
+                self._healthy_streak += 1
+                if self._healthy_streak >= self.config.monitor_exit_epochs:
+                    self.conservative = False
+                    self._healthy_streak = 0
+        if self.conservative:
+            self.conservative_observations += 1
+        return self.conservative
+
+    @property
+    def conservative_fraction(self) -> float:
+        """Fraction of observations spent in conservative mode."""
+        if self.observations == 0:
+            return 0.0
+        return self.conservative_observations / self.observations

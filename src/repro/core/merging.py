@@ -1,0 +1,95 @@
+"""Search-tree merging: two search trees per PE (§4.2).
+
+A PE statically bound to one search tree can leave both compute and the
+aggregated memory bandwidth underused for low-degree graphs (the paper's
+yo/pa cases).  With the task tree holding two depth-0/depth-1 bunches, a
+PE can interleave two independent trees, sharing the accelerator among up
+to ``2 × #PEs`` trees.
+
+Each PE decides independently.  The three §4.2 enable conditions:
+
+1. the FU (IU) utilization rate leaves headroom,
+2. the L1 is not thrashing (out-of-order across trees would make it worse),
+3. the L2/DRAM path is not saturated.
+
+Recovery: if severe locality loss appears while merged, the controller
+*quiesces* one tree — the one with the smaller maximum depth and fewer
+occupied bunches, since its frozen resources cost least.  Ready/Resting
+entries freeze instantly; Executing entries drain first (their memory
+requests cannot be recalled — yanking them would leave messages hanging
+and deadlock, hence the paper's Quiesce state).  The quiesced tree wakes
+when the other completes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.pe import PE
+    from .task_tree import TaskTree
+
+
+class MergeController:
+    """Per-PE decisions for running (and quiescing) a second tree."""
+
+    def __init__(self, pe: "PE", tree: "TaskTree") -> None:
+        self.pe = pe
+        self.tree = tree
+        self.config = pe.config
+        self.merges = 0
+        self.quiesces = 0
+
+    # ------------------------------------------------------------------
+    def can_merge(self) -> bool:
+        """Whether taking a second search tree is worthwhile right now."""
+        if len(self.tree.live_tree_ids()) >= self.config.root_bunches:
+            return False
+        if self.tree.quiesced_tree_ids():
+            return False
+        config = self.config
+        pe = self.pe
+        util_ok = pe.recent_iu_utilization() < config.merge_iu_util_ceiling
+        l1_ok = (
+            pe.memory.recent_l1_latency(pe.pe_id) < config.merge_l1_latency_ceiling
+        )
+        mem_ok = (
+            pe.memory.memory_pressure(pe.engine.now) < config.merge_mem_latency_ceiling
+        )
+        if util_ok and l1_ok and mem_ok:
+            self.merges += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def maybe_quiesce(self, conservative: bool) -> None:
+        """Quiesce one tree if merged exploration is thrashing the L1."""
+        live = self.tree.live_tree_ids()
+        if len(live) < 2 or self.tree.quiesced_tree_ids():
+            return
+        thrashing = (
+            self.pe.memory.recent_l1_latency(self.pe.pe_id)
+            > self.config.l1_latency_threshold
+        )
+        if not (thrashing or conservative):
+            return
+        victim = self._pick_victim(live)
+        if victim is not None:
+            self.tree.quiesce_tree(victim)
+            self.quiesces += 1
+
+    def _pick_victim(self, live) -> Optional[int]:
+        """Smaller max depth, then fewer occupied bunches (§4.2)."""
+        best = None
+        best_key = None
+        for tree_id in live:
+            stats = self.tree.tree_stats(tree_id)
+            key = (stats["max_depth"], stats["bunches"])
+            if best_key is None or key < best_key:
+                best, best_key = tree_id, key
+        return best
+
+    def on_tree_done(self, tree_id: int) -> None:
+        """Wake the quiesced tree once its sibling completes."""
+        for quiesced in self.tree.quiesced_tree_ids():
+            self.tree.wake_tree(quiesced)

@@ -1,0 +1,526 @@
+"""The Shogun task tree: decoupled task generation and execution (§3.2).
+
+The task tree is the structure that distinguishes Shogun from the task
+*stack* of prior designs: completed tasks spawn children immediately
+(no barrier), children wait in the tree as Ready entries, and a scheduler
+picks execution order with both parallelism and locality in mind.
+
+Layout (§3.2.1, Table 3): the task SPM is statically arranged as
+Depth × Bunch.  A *bunch* groups same-parent sibling tasks; its entry
+count equals the PE execution width so a full bunch can occupy the whole
+PE (locality), while multiple bunches per depth provide non-sibling
+candidates when siblings run short (parallelism).  Depth 0 and 1 have
+``root_bunches`` bunches (2, for search-tree merging); deeper depths have
+``bunches_per_depth`` (4).
+
+State machine (§3.2.2, Figures 5/6): entries move through
+Idle → Ready → Executing → Resting → Idle.  Spawning takes an idle bunch
+at the next depth and fills it from the parent's candidate set; a task
+that cannot spawn *extends* — it reuses its entry (and address token) to
+explore the parent's next unexplored candidate; pruned candidates never
+enter the tree (the symmetry bound already truncated the children list).
+When a bunch drains it is recycled, its parent's subtree is complete, and
+the completion propagates upward — at depth 0 that ends a search tree.
+
+Scheduling (§3.2.3, Figure 7): prefer Ready siblings of the last
+selected bunch; otherwise round-robin across bunches — unless
+conservative mode forbids mixing non-siblings.  A task is only *valid*
+if an address token for its depth is available (memory-footprint
+control).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .task import SimTask, TaskState
+from .tokens import TokenPool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.pe import PE
+
+
+class Bunch:
+    """One bunch of sibling task entries at a fixed depth."""
+
+    __slots__ = ("depth", "capacity", "index", "parent", "ready", "active",
+                 "executing", "in_use", "tree")
+
+    def __init__(self, depth: int, capacity: int, index: int) -> None:
+        self.depth = depth
+        self.capacity = capacity
+        self.index = index
+        self.parent: Optional[SimTask] = None
+        self.ready: Deque[SimTask] = deque()
+        self.active = 0       # non-idle entries
+        self.executing = 0    # entries currently in the PE pipeline
+        self.in_use = False
+        self.tree: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bunch(d={self.depth}, i={self.index}, in_use={self.in_use}, "
+            f"ready={len(self.ready)}, active={self.active})"
+        )
+
+
+class TaskTree:
+    """Per-PE task tree: storage, FSM and scheduler."""
+
+    def __init__(self, pe: "PE", on_tree_done: Callable[[int], None]) -> None:
+        self.pe = pe
+        config = pe.config
+        schedule = pe.schedule
+        if schedule.max_depth > config.max_pattern_depth:
+            raise SimulationError(
+                f"pattern depth {schedule.max_depth} exceeds task tree "
+                f"maximum {config.max_pattern_depth}"
+            )
+        self.max_depth = schedule.max_depth
+        self.on_tree_done = on_tree_done
+
+        self.bunches: Dict[int, List[Bunch]] = {}
+        for depth in range(self.max_depth + 1):
+            if depth == 0:
+                layout = [(1, i) for i in range(config.root_bunches)]
+            elif depth == 1:
+                layout = [(config.bunch_entries, i) for i in range(config.root_bunches)]
+            else:
+                layout = [(config.bunch_entries, i) for i in range(config.bunches_per_depth)]
+            self.bunches[depth] = [Bunch(depth, cap, i) for cap, i in layout]
+        self._all_bunches: List[Bunch] = [
+            b for depth in sorted(self.bunches) for b in self.bunches[depth]
+        ]
+
+        # Address tokens gate output-set storage; leaf tasks produce none.
+        self.tokens: Dict[int, TokenPool] = {
+            depth: TokenPool(config.tokens_per_depth)
+            for depth in range(self.max_depth)
+        }
+
+        self._waiting_spawn: Dict[int, Deque[SimTask]] = {
+            depth: deque() for depth in range(1, self.max_depth + 1)
+        }
+        self._last_bunch: Optional[Bunch] = None
+        self._rr_cursor = 0
+        self._executing_total = 0
+        self._executing_bunch: Optional[Bunch] = None
+        self._ready_total = 0
+        self._quiesced_trees: set = set()
+        self._live_trees: set = set()
+
+        # Diagnostics.
+        self.spawn_waits = 0
+        self.token_stalls = 0
+        self.tasks_scheduled = 0
+
+    # ------------------------------------------------------------------
+    # root / partition intake
+    # ------------------------------------------------------------------
+    def free_root_slots(self) -> int:
+        """Idle depth-0 bunches (capacity for new search trees)."""
+        return sum(1 for b in self.bunches[0] if not b.in_use)
+
+    def add_root(self, vertex: int, tree_id: int) -> None:
+        """Install a new search-tree root as a Ready depth-0 task."""
+        bunch = self._idle_bunch(0)
+        if bunch is None:
+            raise SimulationError("no idle depth-0 bunch for a new root")
+        task = SimTask(depth=0, vertex=vertex, embedding=(vertex,), parent=None, tree=tree_id)
+        task.state = TaskState.READY
+        bunch.in_use = True
+        bunch.tree = tree_id
+        bunch.parent = None
+        bunch.active = 1
+        bunch.ready.append(task)
+        self._ready_total += 1
+        self._live_trees.add(tree_id)
+
+    def add_partition(
+        self, prefix: Tuple[int, ...], children: List[int], tree_id: int
+    ) -> List[SimTask]:
+        """Install a split search-tree partition (task-tree splitting, §4.1).
+
+        The partition arrives *already executed* down to the split task:
+        the message carried the embedding prefix (just the root vertex in
+        the paper's depth-0-only scheme), the assigned candidate range
+        and the prefix's candidate-set cache lines.  The local entries
+        for the whole prefix are created directly in Resting state and
+        the deepest one spawns from the assigned range.
+        """
+        chain: List[SimTask] = []
+        parent: Optional[SimTask] = None
+        for d, vertex in enumerate(prefix):
+            bunch = self._idle_bunch(d)
+            if bunch is None:
+                raise SimulationError(f"no idle depth-{d} bunch for a partition")
+            task = SimTask(
+                depth=d,
+                vertex=int(vertex),
+                embedding=tuple(int(v) for v in prefix[: d + 1]),
+                parent=parent,
+                tree=tree_id,
+            )
+            if d < self.max_depth:
+                token = self.tokens[d].acquire()
+                if token is None:
+                    raise SimulationError(f"no depth-{d} token for a partition")
+                task.token = token
+                task.set_address = self.pe.buffer_map.address(d, token)
+            task.expansion = self.pe.context.expand(task.embedding)
+            if d < len(prefix) - 1:
+                # Interior prefix entry: its only live candidate is the
+                # next prefix vertex; everything else stays on the donor.
+                task.children_vertices = [int(prefix[d + 1])]
+                task.next_child = 1
+            else:
+                task.children_vertices = list(children)
+            task.state = TaskState.RESTING
+            bunch.in_use = True
+            bunch.tree = tree_id
+            bunch.parent = parent
+            bunch.active = 1
+            self.pe.footprint_add(len(task.expansion.candidates) * 4)
+            chain.append(task)
+            parent = task
+        self._live_trees.add(tree_id)
+        self._spawn_or_wait(chain[-1])
+        return chain
+
+    def _idle_bunch(self, depth: int) -> Optional[Bunch]:
+        for bunch in self.bunches[depth]:
+            if not bunch.in_use:
+                return bunch
+        return None
+
+    # ------------------------------------------------------------------
+    # scheduling (Figure 7)
+    # ------------------------------------------------------------------
+    def select(self, conservative: bool) -> Optional[SimTask]:
+        """Pick the next task to execute, honoring tokens and the mode."""
+        for bunch in self._candidate_bunches(conservative):
+            depth = bunch.depth
+            pool = self.tokens[depth] if depth < self.max_depth else None
+            # Extended tasks reuse their entry's token; only tasks without
+            # one contend for the depth's pool (the Figure 7 valid check).
+            # With the pool drained, a token-holding entry anywhere in the
+            # bunch is still schedulable — the scheduler reads all entries
+            # of a bunch, so no head-of-line blocking.
+            task: Optional[SimTask] = None
+            if pool is None or pool.available > 0:
+                task = bunch.ready.popleft()
+            else:
+                for i, cand in enumerate(bunch.ready):
+                    if cand.token is not None:
+                        task = cand
+                        del bunch.ready[i]
+                        break
+                if task is None:
+                    self.token_stalls += 1
+                    continue
+            self._ready_total -= 1
+            task.state = TaskState.EXECUTING
+            if pool is not None and task.token is None:
+                token = pool.acquire()
+                task.token = token
+                task.set_address = self.pe.buffer_map.address(depth, token)
+            bunch.executing += 1
+            self._executing_total += 1
+            self._executing_bunch = bunch
+            self._last_bunch = bunch
+            self.tasks_scheduled += 1
+            return task
+        return None
+
+    def _candidate_bunches(self, conservative: bool):
+        """Bunches to consider, in preference order (siblings first)."""
+        if conservative and self._executing_total > 0:
+            bunch = self._executing_bunch
+            if (
+                bunch is not None
+                and bunch.ready
+                and bunch.tree not in self._quiesced_trees
+            ):
+                yield bunch
+            return
+        last = self._last_bunch
+        if last is not None and last.ready and last.tree not in self._quiesced_trees:
+            yield last
+        n = len(self._all_bunches)
+        start = self._rr_cursor
+        for offset in range(n):
+            bunch = self._all_bunches[(start + offset) % n]
+            if bunch is last or not bunch.ready:
+                continue
+            if bunch.tree in self._quiesced_trees:
+                continue
+            self._rr_cursor = (start + offset + 1) % n
+            yield bunch
+
+    # ------------------------------------------------------------------
+    # completion, spawning, extending (Figures 5/6)
+    # ------------------------------------------------------------------
+    def on_complete(self, task: SimTask) -> None:
+        """A task finished its PE pipeline; advance the FSM."""
+        bunch = self._bunch_of(task)
+        bunch.executing -= 1
+        self._executing_total -= 1
+        if task.children_vertices:
+            self._spawn_or_wait(task)
+        else:
+            self._retire_set(task)
+            self._extend_or_idle(task, bunch)
+
+    def _bunch_of(self, task: SimTask) -> Bunch:
+        # Children live in the bunch whose parent is task.parent; roots
+        # live in depth-0 bunches keyed by tree.
+        for bunch in self.bunches[task.depth]:
+            if bunch.in_use and (
+                (task.parent is None and bunch.tree == task.tree and bunch.parent is None)
+                or (task.parent is not None and bunch.parent is task.parent)
+            ):
+                return bunch
+        raise SimulationError(f"task {task!r} belongs to no bunch")
+
+    def _spawn_or_wait(self, task: SimTask) -> None:
+        """Spawn a child bunch now, or queue until one is idle."""
+        child_depth = task.depth + 1
+        bunch = self._idle_bunch(child_depth)
+        task.state = TaskState.RESTING
+        if bunch is None:
+            self.spawn_waits += 1
+            self._waiting_spawn[child_depth].append(task)
+            return
+        self._fill_bunch(task, bunch)
+
+    def _fill_bunch(self, parent: SimTask, bunch: Bunch) -> None:
+        bunch.in_use = True
+        bunch.parent = parent
+        bunch.tree = parent.tree
+        count = min(bunch.capacity, parent.unexplored)
+        if count <= 0:
+            raise SimulationError("spawning with no unexplored candidates")
+        for _ in range(count):
+            position = parent.next_child
+            v = parent.take_next_child()
+            child = SimTask(
+                depth=bunch.depth,
+                vertex=v,
+                embedding=parent.embedding + (v,),
+                parent=parent,
+                tree=parent.tree,
+                child_index=position,
+            )
+            child.state = TaskState.READY
+            bunch.ready.append(child)
+            self._ready_total += 1
+        bunch.active = count
+
+    def _extend_or_idle(self, task: SimTask, bunch: Bunch) -> None:
+        """Task extending / entry recycling (§3.2.2)."""
+        parent = task.parent
+        if parent is not None and parent.unexplored > 0:
+            position = parent.next_child
+            v = parent.take_next_child()
+            extended = SimTask(
+                depth=task.depth,
+                vertex=v,
+                embedding=parent.embedding + (v,),
+                parent=parent,
+                tree=task.tree,
+                child_index=position,
+            )
+            # Entry and address token are reused by the extended task.
+            extended.token = task.token
+            extended.set_address = task.set_address
+            extended.state = TaskState.READY
+            task.state = TaskState.IDLE
+            bunch.ready.append(extended)
+            self._ready_total += 1
+            return
+        # No candidate to extend onto: the entry idles.
+        if task.token is not None:
+            self.tokens[task.depth].release(task.token)
+            task.token = None
+        task.state = TaskState.IDLE
+        bunch.active -= 1
+        if bunch.active < 0:
+            raise SimulationError("bunch active count underflow")
+        if bunch.active == 0:
+            self._recycle(bunch)
+
+    def _retire_set(self, task: SimTask) -> None:
+        """The task's candidate set (if any) is dead; drop its footprint."""
+        if task.expansion is not None:
+            self.pe.footprint_remove(len(task.expansion.candidates) * 4)
+
+    def _recycle(self, bunch: Bunch) -> None:
+        """Recycle a drained bunch and propagate subtree completion."""
+        parent = bunch.parent
+        tree = bunch.tree
+        depth = bunch.depth
+        bunch.in_use = False
+        bunch.parent = None
+        bunch.tree = None
+        bunch.executing = 0
+        if self._last_bunch is bunch:
+            self._last_bunch = None
+        if self._executing_bunch is bunch:
+            self._executing_bunch = None
+
+        # A freed bunch first serves parents waiting to spawn at this depth.
+        waiters = self._waiting_spawn.get(depth)
+        if waiters:
+            waiter = waiters.popleft()
+            self._fill_bunch(waiter, bunch)
+
+        if parent is None:
+            # A depth-0 bunch drained: the search tree is fully explored.
+            self._live_trees.discard(tree)
+            self._quiesced_trees.discard(tree)
+            self.on_tree_done(tree)
+            return
+        if parent.unexplored != 0:
+            raise SimulationError(
+                "bunch drained while its parent still has unexplored candidates"
+            )
+        # Parent leaves Resting: its candidate set is fully explored.
+        parent_bunch = self._bunch_of(parent)
+        self._retire_set(parent)
+        self._extend_or_idle(parent, parent_bunch)
+
+    # ------------------------------------------------------------------
+    # introspection / merging support
+    # ------------------------------------------------------------------
+    def has_work(self) -> bool:
+        """Whether any search tree is still live on this PE."""
+        return bool(self._live_trees)
+
+    def ready_count(self) -> int:
+        """Schedulable Ready tasks (quiesced trees excluded)."""
+        if not self._quiesced_trees:
+            return self._ready_total
+        return sum(
+            len(b.ready)
+            for b in self._all_bunches
+            if b.ready and b.tree not in self._quiesced_trees
+        )
+
+    def executing_count(self) -> int:
+        """Tasks currently in the PE pipeline."""
+        return self._executing_total
+
+    def live_tree_ids(self) -> List[int]:
+        """Identifiers of live (possibly quiesced) trees."""
+        return sorted(self._live_trees)
+
+    def quiesce_tree(self, tree_id: int) -> None:
+        """Freeze a tree's Ready/Resting work (merging recovery, §4.2)."""
+        if tree_id in self._live_trees:
+            self._quiesced_trees.add(tree_id)
+
+    def wake_tree(self, tree_id: int) -> None:
+        """Resume a quiesced tree."""
+        self._quiesced_trees.discard(tree_id)
+
+    def quiesced_tree_ids(self) -> List[int]:
+        """Currently quiesced trees."""
+        return sorted(self._quiesced_trees)
+
+    def tree_stats(self, tree_id: int) -> Dict[str, int]:
+        """Occupancy of one tree (victim selection for quiescing)."""
+        bunches = 0
+        max_depth = 0
+        for b in self._all_bunches:
+            if b.in_use and b.tree == tree_id:
+                bunches += 1
+                max_depth = max(max_depth, b.depth)
+        return {"bunches": bunches, "max_depth": max_depth}
+
+    def harvest_split_pool(self, task: SimTask) -> List[int]:
+        """Withdraw the shippable candidate range of ``task`` (§4.1).
+
+        The pool is the task's unexplored candidate range plus any Ready
+        (not yet executing, not extended) child entries, which are
+        reclaimed from their bunch — reclaiming a Ready entry is the same
+        hardware operation as quiescing it, just followed by a range
+        update instead of a later wake.  At least one live entry is
+        always left behind so the donor's subtree completion path stays
+        intact.  Returns the pooled candidate vertices in their original
+        candidate-set order; the caller re-appends the donor's share.
+        """
+        pool: List[Tuple[int, int]] = []  # (child_index, vertex)
+        explored = task.children_vertices[: task.next_child]
+        for idx in range(task.next_child, len(task.children_vertices)):
+            pool.append((idx, task.children_vertices[idx]))
+        bunch = self._child_bunch(task)
+        if bunch is not None:
+            reclaimable = [
+                t for t in bunch.ready if t.token is None and t.parent is task
+            ]
+            if bunch.active - len(reclaimable) < 1 and reclaimable:
+                reclaimable = reclaimable[1:]  # leave one Ready entry behind
+            for t in reclaimable:
+                bunch.ready.remove(t)
+                bunch.active -= 1
+                self._ready_total -= 1
+                t.state = TaskState.IDLE
+                pool.append((t.child_index, t.vertex))
+        pool.sort()
+        task.children_vertices = list(explored)
+        task.next_child = len(explored)
+        return [v for _, v in pool]
+
+    def _child_bunch(self, task: SimTask) -> Optional[Bunch]:
+        if task.depth + 1 > self.max_depth:
+            return None
+        for bunch in self.bunches[task.depth + 1]:
+            if bunch.in_use and bunch.parent is task:
+                return bunch
+        return None
+
+    def split_potential(self, task: SimTask) -> int:
+        """Candidates :meth:`harvest_split_pool` could withdraw for ``task``."""
+        potential = task.unexplored
+        bunch = self._child_bunch(task)
+        if bunch is not None:
+            reclaimable = sum(
+                1 for t in bunch.ready if t.token is None and t.parent is task
+            )
+            if bunch.active - reclaimable < 1:
+                reclaimable = max(0, reclaimable - 1)
+            potential += reclaimable
+        return potential
+
+    def splittable_task(self, depth_limit: int = 0) -> Optional[SimTask]:
+        """The shallowest/heaviest task with a shippable candidate range.
+
+        The paper splits only the depth-0 task's depth-1 range
+        (``depth_limit=0``); larger limits extend the same mechanism to
+        deeper Resting tasks — the partition message just carries a
+        longer embedding prefix.  Returns ``None`` when no task could
+        ship at least two candidates.
+        """
+        best: Optional[SimTask] = None
+        best_key: Optional[Tuple[int, int]] = None
+        candidates: List[SimTask] = []
+        for depth in range(0, min(depth_limit, self.max_depth - 1) + 1):
+            for bunch in self.bunches[depth + 1]:
+                if bunch.in_use and bunch.parent is not None:
+                    candidates.append(bunch.parent)
+            for waiter in self._waiting_spawn.get(depth + 1, ()):
+                if waiter.depth == depth:
+                    candidates.append(waiter)
+        for task in candidates:
+            if task.tree in self._quiesced_trees:
+                continue
+            potential = self.split_potential(task)
+            if potential < 2:
+                continue
+            key = (task.depth, -potential)  # shallowest first, then heaviest
+            if best_key is None or key < best_key:
+                best = task
+                best_key = key
+        return best

@@ -1,0 +1,150 @@
+"""Address tokens and intermediate-result buffer mapping.
+
+The accelerator preallocates empty vertex sets for each search depth
+before the application begins (§3.2.3, following Dryadic and GraphPi);
+each preallocated set is tagged with a unique *token*, and tasks of the
+same depth contend for that depth's token pool.  A task may only be
+scheduled if a token is available for its output candidate set — this is
+the memory-footprint control knob shared by every scheduling policy.
+
+:class:`SetBufferMap` gives every (PE, depth, token) buffer a fixed byte
+address in the simulated intermediate-result region, below the graph
+(CSR) region so the two traffic classes never alias.  Fixed addresses
+matter: a token reused by a later task maps to the same cache lines,
+which is how buffer recycling interacts with the L1 in the real design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+
+#: Base of the intermediate-result address region (below GRAPH_REGION_BASE).
+INTERMEDIATE_REGION_BASE = 1 << 20
+
+
+class TokenPool:
+    """A pool of address tokens for one search depth.
+
+    The pool tracks *capacity*, not token identity: ``resize`` changes
+    how many tokens may circulate, minting fresh ones to grow and
+    retiring tokens to shrink (free ones immediately, held ones lazily
+    on release, so a live candidate set is never invalidated).
+    """
+
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise SimulationError("token pool needs at least one token")
+        self.target = count
+        self._next_fresh = count
+        self._free: List[int] = list(range(count - 1, -1, -1))
+        self._held: set = set()
+        self._retired: set = set()  # held tokens that must not return
+
+    @property
+    def available(self) -> int:
+        """Number of free tokens."""
+        return len(self._free)
+
+    @property
+    def held(self) -> int:
+        """Number of tokens currently held by live candidate sets."""
+        return len(self._held)
+
+    def acquire(self) -> Optional[int]:
+        """Take a token, or ``None`` when the pool is exhausted."""
+        if not self._free:
+            return None
+        token = self._free.pop()
+        self._held.add(token)
+        return token
+
+    def release(self, token: int) -> None:
+        """Return a token to the pool; double release is a simulator bug."""
+        if token not in self._held:
+            raise SimulationError(f"release of token {token} not held")
+        self._held.remove(token)
+        if token in self._retired:
+            # A pending shrink consumed this token's capacity.
+            self._retired.remove(token)
+        else:
+            self._free.append(token)
+
+    def resize(self, count: int) -> None:
+        """Change the pool capacity (the paper's dynamic token knob)."""
+        if count < 1:
+            raise SimulationError("token pool cannot shrink below one")
+        if count > self.target:
+            need = count - self.target
+            # A pending shrink can be cancelled before minting fresh tokens.
+            while need and self._retired:
+                self._retired.pop()
+                need -= 1
+                # The un-retired token is still held; it returns on release.
+            self._free.extend(range(self._next_fresh, self._next_fresh + need))
+            self._next_fresh += need
+        else:
+            drop = self.target - count
+            while drop and self._free:
+                self._free.pop()
+                drop -= 1
+            for token in sorted(self._held, reverse=True):
+                if not drop:
+                    break
+                if token not in self._retired:
+                    self._retired.add(token)
+                    drop -= 1
+        self.target = count
+
+
+class SetBufferMap:
+    """Byte addresses of preallocated intermediate-set buffers.
+
+    Every buffer holds one candidate set and is sized for the worst case
+    (``buffer_lines`` cache lines, normally ``ceil(max_degree * 4 / 64)``),
+    so addresses are static for the whole run.  Buffer indices beyond
+    ``buffers_per_depth`` (BFS's unbounded frontier, or a grown token
+    pool) spill into a per-depth overflow region; addresses stay distinct
+    per (depth, index), and the resulting cache pressure *is* the BFS
+    memory-consumption explosion the paper describes.
+    """
+
+    #: Overflow buffers reserved per depth past the preallocated ones.
+    OVERFLOW_SLOTS = 1 << 20
+
+    def __init__(
+        self,
+        pe_id: int,
+        max_depth: int,
+        buffers_per_depth: int,
+        buffer_lines: int,
+        line_bytes: int = 64,
+        *,
+        base: int = INTERMEDIATE_REGION_BASE,
+    ) -> None:
+        if buffer_lines < 1:
+            buffer_lines = 1
+        self.pe_id = pe_id
+        self.max_depth = max_depth
+        self.buffers_per_depth = buffers_per_depth
+        self.buffer_bytes = buffer_lines * line_bytes
+        self.line_bytes = line_bytes
+        depth_region = self.OVERFLOW_SLOTS * self.buffer_bytes
+        pe_region = (max_depth + 1) * depth_region
+        self._depth_region = depth_region
+        self.base = base + pe_id * pe_region
+
+    def address(self, depth: int, buffer_index: int) -> int:
+        """Base byte address of buffer ``buffer_index`` at ``depth``."""
+        if depth < 0 or depth > self.max_depth:
+            raise SimulationError(f"depth {depth} outside buffer map")
+        if buffer_index < 0 or buffer_index >= self.OVERFLOW_SLOTS:
+            raise SimulationError(f"buffer_index {buffer_index} out of range")
+        return self.base + depth * self._depth_region + buffer_index * self.buffer_bytes
+
+    def lines_for_bytes(self, num_bytes: int) -> int:
+        """Cache lines covering ``num_bytes`` (zero only for empty sets)."""
+        if num_bytes <= 0:
+            return 0
+        return -(-num_bytes // self.line_bytes)

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, vertex ids, formats)."""
+
+
+class PatternError(ReproError):
+    """Raised for malformed patterns or impossible schedule requests."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a matching schedule is invalid or cannot be generated."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator reaches an inconsistent state.
+
+    An inconsistent state always indicates a bug in a scheduling policy or
+    in the simulator itself (e.g. a task completing twice, a token released
+    that was never acquired), never a property of the workload, so this
+    error is *not* meant to be caught and recovered from.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator configuration values."""

@@ -1,0 +1,64 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .ablations import (
+    ablation_conservative_mode,
+    ablation_pipeline_throughput,
+    ablation_tokens,
+)
+from .figures import (
+    FigureResult,
+    figure3a,
+    figure3b,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13a,
+    figure13b,
+    figure14,
+)
+from .reporting import percent, render_table
+from .runner import (
+    DEFAULT_SCALE,
+    clear_run_cache,
+    eval_config,
+    get_graph,
+    get_schedule,
+    reference_count,
+    run_cell,
+)
+from .tables import TableResult, table1, table2, table3, table4
+from .workloads import EXCLUDED, evaluation_grid, patterns_for
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ablation_conservative_mode",
+    "ablation_pipeline_throughput",
+    "ablation_tokens",
+    "EXCLUDED",
+    "FigureResult",
+    "TableResult",
+    "clear_run_cache",
+    "eval_config",
+    "evaluation_grid",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13a",
+    "figure13b",
+    "figure14",
+    "figure3a",
+    "figure3b",
+    "figure9",
+    "get_graph",
+    "get_schedule",
+    "patterns_for",
+    "percent",
+    "reference_count",
+    "render_table",
+    "run_cell",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

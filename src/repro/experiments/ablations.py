@@ -1,0 +1,150 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures, three ablations isolate individual
+mechanisms:
+
+* :func:`ablation_conservative_mode` — Shogun with the locality monitor
+  disabled / adaptive / always-on (the §3.2.3 design choice, extending
+  Figure 14's comparison to Shogun itself);
+* :func:`ablation_tokens` — per-depth address-token count (the §3.2.3
+  memory-footprint knob: fewer tokens bound live intermediate data at
+  the cost of scheduling stalls);
+* :func:`ablation_pipeline_throughput` — the paper's stated future work:
+  for tiny-task-dominated workloads (wi/as with tt_e/dia_e) "most of the
+  runtime [is spent] in PE pipelines, e.g., accessing the task tree
+  entries"; raising the pipeline unit throughput quantifies the headroom.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.accelerator import Accelerator
+from .figures import FigureResult
+from .runner import eval_config, get_graph, get_schedule, run_cell
+
+
+def ablation_conservative_mode(
+    cells: Sequence[Tuple[str, str]] = (("yo", "tt_e"), ("as", "4cl")),
+    *,
+    l1_kb: int = 2,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Shogun with the monitor off / adaptive / forced conservative.
+
+    Run with a deliberately small L1 so locality actually matters; the
+    adaptive monitor should sit between the two fixed modes (or match
+    the better one).
+    """
+    rows: List[List[object]] = []
+    config = eval_config(l1_kb=l1_kb)
+    for dataset, pattern in cells:
+        graph = get_graph(dataset, scale)
+        schedule = get_schedule(pattern)
+        cycles = {}
+        for label, override in (("off", False), ("adaptive", None), ("always", True)):
+            accel = Accelerator(graph, schedule, config, "shogun")
+            for pe in accel.pes:
+                pe.policy._conservative_override = override
+            metrics = accel.run()
+            cycles[label] = metrics.cycles
+            rows.append(
+                [
+                    f"{dataset}-{pattern}",
+                    label,
+                    round(metrics.cycles),
+                    f"{metrics.l1_hit_rate:.1%}",
+                    round(metrics.l1_avg_latency, 1),
+                ]
+            )
+    return FigureResult(
+        name=f"Ablation: conservative mode (L1 {l1_kb} KB)",
+        headers=["case", "monitor", "cycles", "L1 hit", "L1 avg lat"],
+        rows=rows,
+        summary="Adaptive should track the better fixed mode per case.",
+    )
+
+
+def ablation_tokens(
+    dataset: str = "wi",
+    pattern: str = "4cl",
+    token_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Sensitivity to the per-depth address-token count.
+
+    Tokens gate how many candidate sets per depth may live at once; the
+    paper sets them equal to the execution width by default but allows
+    reducing them to shrink the memory footprint.
+    """
+    rows: List[List[object]] = []
+    base_cycles: Optional[float] = None
+    for count in token_counts:
+        config = eval_config(tokens_per_depth=count)
+        metrics = run_cell(dataset, pattern, "shogun", config=config, scale=scale)
+        if base_cycles is None:
+            base_cycles = metrics.cycles
+        rows.append(
+            [
+                count,
+                round(metrics.cycles),
+                round(base_cycles / metrics.cycles, 2),
+                metrics.peak_footprint_bytes,
+                sum(p.token_stalls for p in metrics.per_pe),
+            ]
+        )
+    return FigureResult(
+        name=f"Ablation: tokens per depth on {dataset}-{pattern}",
+        headers=["tokens/depth", "cycles", "speedup vs 1", "peak footprint", "token stalls"],
+        rows=rows,
+        summary="More tokens buy parallelism at the cost of live intermediate data.",
+    )
+
+
+def ablation_pipeline_throughput(
+    cells: Sequence[Tuple[str, str]] = (("wi", "tt_e"), ("as", "dia_e"), ("as", "4cl")),
+    factors: Sequence[float] = (1.0, 2.0, 4.0),
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """The paper's future work: an optimized PE pipeline front end.
+
+    wi/as with tt_e/dia_e generate masses of tiny tasks whose runtime is
+    dominated by the fixed pipeline stages (decode, dispatch, spawn,
+    task-tree accesses) rather than by FUs or memory; §5.2.1 leaves
+    "optimizing the PE pipeline design" as future work.  A factor of
+    ``f`` shortens every fixed stage by ``f`` and lets each unit accept
+    ``f`` tasks per cycle.  Compute-dense cells (as-4cl) should barely
+    move; tiny-task cells should gain substantially.
+    """
+    rows: List[List[object]] = []
+    for dataset, pattern in cells:
+        base: Optional[float] = None
+        for factor in factors:
+            config = eval_config(
+                unit_tasks_per_cycle=factor,
+                decode_cycles=max(1, round(2 / factor)),
+                dispatch_cycles=max(1, round(2 / factor)),
+                spawn_cycles=max(1, round(2 / factor)),
+                leaf_cycles=max(1, round(2 / factor)),
+                tree_access_cycles=max(0, round(1 / factor)),
+            )
+            metrics = run_cell(dataset, pattern, "shogun", config=config, scale=scale)
+            if base is None:
+                base = metrics.cycles
+            rows.append(
+                [
+                    f"{dataset}-{pattern}",
+                    factor,
+                    round(metrics.cycles),
+                    round(base / metrics.cycles, 2),
+                    f"{metrics.iu_utilization:.1%}",
+                ]
+            )
+    return FigureResult(
+        name="Ablation: PE pipeline optimization factor (the paper's future work)",
+        headers=["case", "pipeline factor", "cycles", "speedup", "IU util"],
+        rows=rows,
+        summary="Tiny-task workloads gain; compute-bound ones are insensitive.",
+    )

@@ -1,0 +1,409 @@
+"""Regeneration of the paper's evaluation figures (3, 9–14).
+
+Every function runs the corresponding experiment and returns a
+:class:`FigureResult` whose rows are the series the paper plots; the
+benchmark harness prints them and EXPERIMENTS.md records paper-vs-
+measured values.  Absolute cycle counts differ from the paper's
+RTL-calibrated simulator — the claims under reproduction are the
+*shapes*: who wins, by what factor, and where the crossovers are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import SimConfig
+from ..sim.metrics import RunMetrics, geomean
+from .reporting import render_table
+from .runner import eval_config, run_cell
+from .workloads import evaluation_grid, patterns_for
+
+
+@dataclass
+class FigureResult:
+    """Rows plus the rendered text of one regenerated figure."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[object]]
+    summary: str = ""
+    raw: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Aligned monospace rendering with the summary line appended."""
+        text = render_table(self.headers, self.rows, title=self.name)
+        if self.summary:
+            text += "\n" + self.summary
+        return text
+
+
+def _width_config(width: int, **overrides) -> SimConfig:
+    """Evaluation config with the task execution width swept.
+
+    The paper ties the bunch size and per-depth token count to the
+    execution width (§3.2.1/§3.2.3), so all three move together.
+    """
+    return eval_config(
+        execution_width=width,
+        bunch_entries=width,
+        tokens_per_depth=width,
+        **overrides,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: pseudo-DFS vs parallel-DFS motivation
+# ----------------------------------------------------------------------
+
+def figure3a(
+    widths: Sequence[int] = (1, 2, 4, 8),
+    dataset: str = "as",
+    pattern: str = "4cl",
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 3(a): speedup + FU utilization vs execution width (as, 4cl).
+
+    The paper's compute-bound motivation case: AstroPh's working set is
+    fully cache-resident, so the figure isolates the barrier effect.
+    The scaled run doubles the (scaled) L1 for the same reason — at the
+    default scaled L1 the widest parallel-DFS config begins to thrash,
+    which is Figure 3(b)'s story, not this one's.
+    """
+    rows = []
+    base: Optional[float] = None
+    l1_kb = eval_config().l1_kb * 2
+    for width in widths:
+        cfg = _width_config(width, l1_kb=l1_kb)
+        pseudo = run_cell(dataset, pattern, "pseudo-dfs", config=cfg, scale=scale)
+        pdfs = run_cell(dataset, pattern, "parallel-dfs", config=cfg, scale=scale)
+        if base is None:
+            base = pseudo.cycles
+        rows.append(
+            [
+                width,
+                round(base / pseudo.cycles, 2),
+                f"{pseudo.iu_utilization:.1%}",
+                round(base / pdfs.cycles, 2),
+                f"{pdfs.iu_utilization:.1%}",
+            ]
+        )
+    return FigureResult(
+        name=f"Figure 3(a): {dataset}-{pattern}, speedup & FU util vs width",
+        headers=["width", "pseudo-DFS speedup", "pseudo FU util",
+                 "parallel-DFS speedup", "parallel FU util"],
+        rows=rows,
+        summary="Expected shape: parallel-DFS pulls ahead of pseudo-DFS as width grows.",
+    )
+
+
+def figure3b(
+    widths: Sequence[int] = (1, 2, 4, 8),
+    dataset: str = "yo",
+    pattern: str = "tt_e",
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 3(b): speedup + L1 behaviour vs execution width (yo, tt).
+
+    The paper plots the L1 hit rate; here the global hit rate is diluted
+    by the task tree's hot one-line vertex fetches, so the figure also
+    reports the *set-fetch average L1 latency* — the thrashing signal
+    the conservative mode monitors — which is where parallel-DFS's
+    locality collapse shows.
+    """
+    rows = []
+    base: Optional[float] = None
+    for width in widths:
+        cfg = _width_config(width)
+        pseudo = run_cell(dataset, pattern, "pseudo-dfs", config=cfg, scale=scale)
+        pdfs = run_cell(dataset, pattern, "parallel-dfs", config=cfg, scale=scale)
+        if base is None:
+            base = pseudo.cycles
+        rows.append(
+            [
+                width,
+                round(base / pseudo.cycles, 2),
+                f"{pseudo.l1_hit_rate:.1%}",
+                round(pseudo.l1_avg_latency, 1),
+                round(base / pdfs.cycles, 2),
+                f"{pdfs.l1_hit_rate:.1%}",
+                round(pdfs.l1_avg_latency, 1),
+            ]
+        )
+    return FigureResult(
+        name=f"Figure 3(b): {dataset}-{pattern}, speedup & L1 behaviour vs width",
+        headers=["width", "pseudo speedup", "pseudo L1 hit", "pseudo set lat",
+                 "parallel speedup", "parallel L1 hit", "parallel set lat"],
+        rows=rows,
+        summary=(
+            "Expected shape: parallel-DFS's set-fetch latency blows up with "
+            "width and its speedup falls behind pseudo-DFS."
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9 & 10: the headline scheduling comparison
+# ----------------------------------------------------------------------
+
+def figure9(
+    *,
+    scale: Optional[float] = None,
+    grid: Optional[List[Tuple[str, str]]] = None,
+) -> FigureResult:
+    """Figure 9: Shogun vs FINGERS speedups, accelerator optimizations off."""
+    cells = grid if grid is not None else evaluation_grid()
+    rows = []
+    speedups = []
+    raw: Dict[str, object] = {}
+    for dataset, pattern in cells:
+        fingers = run_cell(dataset, pattern, "fingers", scale=scale)
+        shogun = run_cell(dataset, pattern, "shogun", scale=scale)
+        speedup = shogun.speedup_over(fingers)
+        speedups.append(speedup)
+        raw[f"{dataset}-{pattern}"] = speedup
+        rows.append(
+            [
+                f"{dataset}-{pattern}",
+                round(fingers.cycles),
+                round(shogun.cycles),
+                round(speedup, 2),
+            ]
+        )
+    gm = geomean(speedups)
+    return FigureResult(
+        name="Figure 9: Shogun speedup over FINGERS (scheduling only)",
+        headers=["case", "FINGERS cycles", "Shogun cycles", "speedup"],
+        rows=rows,
+        summary=(
+            f"geomean speedup = {gm:.2f}x ({(gm - 1) * 100:+.0f}%); "
+            f"max = {max(speedups):.2f}x; paper: +43% avg, up to +131%."
+        ),
+        raw={"speedups": raw, "geomean": gm},
+    )
+
+
+def figure10(
+    *,
+    scale: Optional[float] = None,
+    grid: Optional[List[Tuple[str, str]]] = None,
+) -> FigureResult:
+    """Figure 10: Shogun average IU utilization rates per case."""
+    cells = grid if grid is not None else evaluation_grid()
+    rows = []
+    raw: Dict[str, float] = {}
+    for dataset, pattern in cells:
+        shogun = run_cell(dataset, pattern, "shogun", scale=scale)
+        raw[f"{dataset}-{pattern}"] = shogun.iu_utilization
+        rows.append([f"{dataset}-{pattern}", f"{shogun.iu_utilization:.1%}"])
+    return FigureResult(
+        name="Figure 10: Shogun IU utilization rates",
+        headers=["case", "IU utilization"],
+        rows=rows,
+        summary=(
+            "Expected shape: clique patterns (4cl/5cl) highest; "
+            "tt_e/dia_e lowest (little intersection work per task)."
+        ),
+        raw=raw,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 11: task-tree splitting (load balance)
+# ----------------------------------------------------------------------
+
+def figure11(
+    dataset: str = "wi",
+    *,
+    num_pes: int = 20,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 11: Shogun ± load balance on a 20-PE device (wi)."""
+    rows = []
+    improvements = []
+    for pattern in patterns_for(dataset):
+        base_cfg = eval_config(num_pes=num_pes)
+        lb_cfg = eval_config(num_pes=num_pes, enable_splitting=True)
+        fingers = run_cell(dataset, pattern, "fingers", config=base_cfg, scale=scale)
+        plain = run_cell(dataset, pattern, "shogun", config=base_cfg, scale=scale)
+        balanced = run_cell(dataset, pattern, "shogun", config=lb_cfg, scale=scale)
+        gain = plain.cycles / balanced.cycles
+        improvements.append(gain)
+        rows.append(
+            [
+                pattern,
+                round(plain.speedup_over(fingers), 2),
+                round(balanced.speedup_over(fingers), 2),
+                f"{(gain - 1) * 100:+.0f}%",
+                balanced.partitions_sent,
+            ]
+        )
+    gm = geomean(improvements)
+    return FigureResult(
+        name=f"Figure 11: task-tree splitting on {dataset}, {num_pes} PEs",
+        headers=["pattern", "Shogun/FINGERS", "Shogun+LB/FINGERS",
+                 "LB gain", "partitions"],
+        rows=rows,
+        summary=f"geomean load-balance gain = {(gm - 1) * 100:+.0f}%; paper: +24%.",
+        raw={"gain_geomean": gm},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 12: search-tree merging
+# ----------------------------------------------------------------------
+
+def figure12(
+    *,
+    scale: Optional[float] = None,
+    grid: Optional[List[Tuple[str, str]]] = None,
+) -> FigureResult:
+    """Figure 12: Shogun ± search-tree merging, vs FINGERS."""
+    cells = grid if grid is not None else evaluation_grid()
+    rows = []
+    merged_speedups = []
+    plain_speedups = []
+    for dataset, pattern in cells:
+        fingers = run_cell(dataset, pattern, "fingers", scale=scale)
+        plain = run_cell(dataset, pattern, "shogun", scale=scale)
+        merged = run_cell(
+            dataset, pattern, "shogun",
+            config=eval_config(enable_merging=True), scale=scale,
+        )
+        plain_speedups.append(plain.speedup_over(fingers))
+        merged_speedups.append(merged.speedup_over(fingers))
+        rows.append(
+            [
+                f"{dataset}-{pattern}",
+                round(plain.speedup_over(fingers), 2),
+                round(merged.speedup_over(fingers), 2),
+                f"{(plain.cycles / merged.cycles - 1) * 100:+.0f}%",
+                merged.merges,
+                merged.quiesces,
+            ]
+        )
+    gm_plain = geomean(plain_speedups)
+    gm_merged = geomean(merged_speedups)
+    return FigureResult(
+        name="Figure 12: search-tree merging",
+        headers=["case", "Shogun/FINGERS", "+merging/FINGERS", "merge gain",
+                 "merges", "quiesces"],
+        rows=rows,
+        summary=(
+            f"geomean: scheduling only {gm_plain:.2f}x, with merging "
+            f"{gm_merged:.2f}x; paper overall (all optimizations): +63%."
+        ),
+        raw={"geomean_plain": gm_plain, "geomean_merged": gm_merged},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13: sensitivity studies
+# ----------------------------------------------------------------------
+
+def figure13a(
+    widths: Sequence[int] = (2, 4, 8),
+    cells: Sequence[Tuple[str, str]] = (("as", "4cl"), ("yo", "4cl"), ("wi", "4cyc_e")),
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 13(a): Shogun vs FINGERS as the execution width scales."""
+    rows = []
+    for dataset, pattern in cells:
+        base: Optional[float] = None
+        for width in widths:
+            cfg = _width_config(width)
+            fingers = run_cell(dataset, pattern, "fingers", config=cfg, scale=scale)
+            shogun = run_cell(dataset, pattern, "shogun", config=cfg, scale=scale)
+            if base is None:
+                base = fingers.cycles
+            rows.append(
+                [
+                    f"{dataset}-{pattern}",
+                    width,
+                    round(base / fingers.cycles, 2),
+                    round(base / shogun.cycles, 2),
+                ]
+            )
+    return FigureResult(
+        name="Figure 13(a): scalability with task execution width",
+        headers=["case", "width", "FINGERS speedup", "Shogun speedup"],
+        rows=rows,
+        summary="Expected shape: Shogun scales better with width than FINGERS.",
+    )
+
+
+def figure13b(
+    bunch_counts: Sequence[int] = (2, 4, 8),
+    cells: Sequence[Tuple[str, str]] = (("as", "4cl"), ("yo", "4cl"), ("wi", "4cyc_e")),
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 13(b): Shogun vs the number of bunches per depth."""
+    rows = []
+    for dataset, pattern in cells:
+        base: Optional[float] = None
+        for bunches in bunch_counts:
+            cfg = eval_config(bunches_per_depth=bunches)
+            shogun = run_cell(dataset, pattern, "shogun", config=cfg, scale=scale)
+            if base is None:
+                base = shogun.cycles
+            rows.append([f"{dataset}-{pattern}", bunches, round(base / shogun.cycles, 2)])
+    return FigureResult(
+        name="Figure 13(b): sensitivity to bunches per depth",
+        headers=["case", "bunches/depth", "relative performance"],
+        rows=rows,
+        summary="Expected shape: near-flat — Shogun is insensitive to bunch count (<10%).",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 14: locality monitoring necessity
+# ----------------------------------------------------------------------
+
+def figure14(
+    cells: Sequence[Tuple[str, str]] = (("yo", "tt_e"), ("as", "4cl"), ("yo", "4cyc_e")),
+    *,
+    scale: Optional[float] = None,
+) -> FigureResult:
+    """Figure 14: Shogun vs FINGERS vs parallel-DFS with enlarged L1s.
+
+    The paper conservatively enlarges the L1 to help parallel-DFS:
+    (a) width 2 with a 2x L1, (b) width 8 with an 8x L1 (64 KB / 256 KB
+    against the 32 KB base; here the scaled analogs).  Shogun's
+    conservative mode should match or beat parallel-DFS everywhere,
+    while parallel-DFS still collapses on thrash-prone cases.
+    """
+    base_l1 = eval_config().l1_kb
+    configs = [
+        ("width 2, L1 x2", _width_config(2, l1_kb=base_l1 * 2)),
+        ("width 8, L1 x8", _width_config(8, l1_kb=base_l1 * 8)),
+    ]
+    rows = []
+    for label, cfg in configs:
+        for dataset, pattern in cells:
+            fingers = run_cell(dataset, pattern, "fingers", config=cfg, scale=scale)
+            shogun = run_cell(dataset, pattern, "shogun", config=cfg, scale=scale)
+            pdfs = run_cell(dataset, pattern, "parallel-dfs", config=cfg, scale=scale)
+            rows.append(
+                [
+                    label,
+                    f"{dataset}-{pattern}",
+                    1.0,
+                    round(fingers.cycles / shogun.cycles, 2),
+                    round(fingers.cycles / pdfs.cycles, 2),
+                    f"{pdfs.l1_hit_rate:.1%}",
+                ]
+            )
+    return FigureResult(
+        name="Figure 14: locality monitoring (normalized to FINGERS)",
+        headers=["config", "case", "FINGERS", "Shogun", "parallel-DFS",
+                 "parallel-DFS L1 hit"],
+        rows=rows,
+        summary=(
+            "Expected shape: Shogun >= FINGERS everywhere; parallel-DFS "
+            "competitive only where no thrashing occurs."
+        ),
+    )

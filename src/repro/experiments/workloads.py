@@ -1,0 +1,41 @@
+"""The evaluation grid: datasets × patterns with the paper's exclusions.
+
+§5.1.2: six datasets (wi, as, yo, pa, lj, or) × nine pattern variants
+(tc, tt_e, tt_v, 4cl, 5cl, dia_e, dia_v, 4cyc_e, 4cyc_v).  "Experiments
+that take longer than 4 days are excluded (lj-5cl, or-4cl, or-5cl,
+or-4cyc)" — interpreting or-4cyc as both induced variants gives 49
+remaining cells; the paper reports 47, but the exact two further
+omissions are not recoverable from the text, so the harness runs all 49
+and notes the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph.datasets import DATASET_CODES
+from ..patterns.graphpi import BENCHMARK_CODES
+
+#: (dataset, pattern) cells the paper excludes for runtime.
+EXCLUDED: Tuple[Tuple[str, str], ...] = (
+    ("lj", "5cl"),
+    ("or", "4cl"),
+    ("or", "5cl"),
+    ("or", "4cyc_e"),
+    ("or", "4cyc_v"),
+)
+
+
+def evaluation_grid() -> List[Tuple[str, str]]:
+    """All (dataset, pattern) cells of the Figure 9/10 evaluation."""
+    grid = []
+    for pattern in BENCHMARK_CODES:
+        for dataset in DATASET_CODES:
+            if (dataset, pattern) not in EXCLUDED:
+                grid.append((dataset, pattern))
+    return grid
+
+
+def patterns_for(dataset: str) -> List[str]:
+    """Patterns evaluated on one dataset (exclusions applied)."""
+    return [p for p in BENCHMARK_CODES if (dataset, p) not in EXCLUDED]

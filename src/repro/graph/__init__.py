@@ -1,0 +1,50 @@
+"""Graph substrate: CSR graphs, builders, synthetic datasets, statistics."""
+
+from .builders import (
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    induced_subgraph,
+    relabel_by_degree,
+)
+from .csr import GRAPH_REGION_BASE, VERTEX_BYTES, CSRGraph, empty_graph
+from .datasets import DatasetSpec, dataset_codes, get_spec, load_dataset
+from .generators import (
+    degree_sorted,
+    rmat,
+    erdos_renyi_gnm,
+    powerlaw_cluster,
+    powerlaw_configuration,
+    random_regularish,
+)
+from .io import load_edge_list, save_edge_list
+from .stats import GraphStats, compute_stats, degree_skewness, global_clustering, triangle_count
+
+__all__ = [
+    "CSRGraph",
+    "DatasetSpec",
+    "GraphStats",
+    "GRAPH_REGION_BASE",
+    "VERTEX_BYTES",
+    "compute_stats",
+    "dataset_codes",
+    "degree_skewness",
+    "degree_sorted",
+    "empty_graph",
+    "erdos_renyi_gnm",
+    "from_adjacency",
+    "from_edges",
+    "from_networkx",
+    "get_spec",
+    "global_clustering",
+    "induced_subgraph",
+    "load_dataset",
+    "load_edge_list",
+    "powerlaw_cluster",
+    "powerlaw_configuration",
+    "random_regularish",
+    "relabel_by_degree",
+    "rmat",
+    "save_edge_list",
+    "triangle_count",
+]

@@ -1,0 +1,45 @@
+"""Software mining substrate: set ops, search-tree semantics, miners."""
+
+from .engine import (
+    ELEMENTS_PER_LINE,
+    MiningResult,
+    MiningStats,
+    count_matches,
+    lines_for,
+    mine,
+)
+from .naive import count_injective_maps, count_unique_subgraphs
+from .setops import (
+    as_sorted_array,
+    intersect,
+    intersect_reference,
+    merge_cost,
+    segment_count,
+    subtract,
+    subtract_reference,
+    truncate_below,
+)
+from .tree import Expansion, SearchContext, SetOp, SetOpInput
+
+__all__ = [
+    "ELEMENTS_PER_LINE",
+    "Expansion",
+    "MiningResult",
+    "MiningStats",
+    "SearchContext",
+    "SetOp",
+    "SetOpInput",
+    "as_sorted_array",
+    "count_injective_maps",
+    "count_matches",
+    "count_unique_subgraphs",
+    "intersect",
+    "intersect_reference",
+    "lines_for",
+    "merge_cost",
+    "mine",
+    "segment_count",
+    "subtract",
+    "subtract_reference",
+    "truncate_below",
+]

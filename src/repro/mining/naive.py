@@ -1,0 +1,81 @@
+"""Pattern-oblivious brute-force miner: the correctness oracle.
+
+Early graph mining systems enumerate all candidate subgraphs and test
+isomorphism explicitly (§2.1).  This module implements that approach —
+unusably slow for real workloads, which is the whole point of
+pattern-aware systems, but exact and independent of the schedule
+machinery, so the test suite uses it to validate schedules end to end:
+
+    schedule-driven count  ==  injective-map count / |Aut(P)|
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import PatternError
+from ..graph.csr import CSRGraph
+from ..patterns.automorphism import automorphism_count
+from ..patterns.pattern import Pattern
+
+
+def count_injective_maps(
+    graph: CSRGraph, pattern: Pattern, *, induced: bool = False
+) -> int:
+    """Number of injective maps pattern→graph preserving (non-)edges.
+
+    Edge-induced mode requires every pattern edge to map to a graph edge;
+    vertex-induced mode additionally requires every pattern *non-edge* to
+    map to a graph non-edge.  Each unique subgraph occurrence is counted
+    ``|Aut(P)|`` times.
+    """
+    k = pattern.num_vertices
+    assignment: List[int] = [-1] * k
+    used = set()
+    total = 0
+
+    def extend(i: int) -> int:
+        if i == k:
+            return 1
+        found = 0
+        for v in range(graph.num_vertices):
+            if v in used:
+                continue
+            ok = True
+            for j in range(i):
+                has = graph.has_edge(assignment[j], v)
+                wants = pattern.has_edge(j, i)
+                if wants and not has:
+                    ok = False
+                    break
+                if induced and not wants and has:
+                    ok = False
+                    break
+            if ok:
+                assignment[i] = v
+                used.add(v)
+                found += extend(i + 1)
+                used.discard(v)
+                assignment[i] = -1
+        return found
+
+    total = extend(0)
+    return total
+
+
+def count_unique_subgraphs(
+    graph: CSRGraph, pattern: Pattern, *, induced: bool = False
+) -> int:
+    """Number of unique subgraph occurrences (orbit count).
+
+    Every occurrence corresponds to exactly ``|Aut(P)|`` injective maps,
+    so the division below is always exact; a remainder indicates a bug
+    and raises.
+    """
+    maps = count_injective_maps(graph, pattern, induced=induced)
+    autos = automorphism_count(pattern)
+    if maps % autos != 0:
+        raise PatternError(
+            f"injective map count {maps} not divisible by |Aut|={autos}"
+        )
+    return maps // autos

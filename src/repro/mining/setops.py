@@ -1,0 +1,107 @@
+"""Sorted-set operations: the computational kernel of graph mining.
+
+Pattern-aware graph mining spends nearly all of its compute in
+intersections and subtractions of sorted vertex sets (§1 of the paper),
+which is why accelerators build dedicated set-operation functional units.
+This module provides:
+
+* numpy implementations used by the miner and simulator,
+* pure-Python references used by the property-based tests,
+* cost accounting matching the merge-based FU model: a two-input sorted
+  merge costs ``len(a) + len(b)`` element comparisons, which the FU pool
+  divides into fixed-size segments (FINGERS-style fine-grained
+  parallelism, §5.1.1 "vertex sets are divided into fine-grained segments
+  by dividers; only paired segments become inputs of set operations").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+EMPTY = np.empty(0, dtype=np.int64)
+
+
+def as_sorted_array(values: Sequence[int]) -> np.ndarray:
+    """Sorted, deduplicated ``int64`` array from arbitrary int values."""
+    arr = np.asarray(list(values), dtype=np.int64)
+    if len(arr) == 0:
+        return EMPTY
+    return np.unique(arr)
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique arrays (sorted unique result)."""
+    if len(a) == 0 or len(b) == 0:
+        return EMPTY
+    return np.intersect1d(a, b, assume_unique=True)
+
+
+def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elements of ``a`` not present in ``b`` (both sorted unique)."""
+    if len(a) == 0:
+        return EMPTY
+    if len(b) == 0:
+        return a
+    return np.setdiff1d(a, b, assume_unique=True)
+
+
+def merge_cost(size_a: int, size_b: int) -> int:
+    """Element comparisons of a two-pointer sorted merge."""
+    return int(size_a) + int(size_b)
+
+
+def truncate_below(a: np.ndarray, bound: int | None) -> np.ndarray:
+    """Prefix of sorted ``a`` strictly below ``bound`` (all of ``a`` if None).
+
+    This is the symmetry-breaking scan cut-off: candidates are stored
+    ascending, so every element at or past the bound is pruned together
+    (the ``break`` in Algorithm 1 of the paper).
+    """
+    if bound is None or len(a) == 0:
+        return a
+    pos = int(np.searchsorted(a, bound, side="left"))
+    return a[:pos]
+
+
+# ----------------------------------------------------------------------
+# Pure-Python references (oracles for the property-based tests)
+# ----------------------------------------------------------------------
+
+def intersect_reference(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Two-pointer merge intersection; oracle for :func:`intersect`."""
+    out: List[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        if a[i] == b[j]:
+            out.append(int(a[i]))
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def subtract_reference(a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Two-pointer merge subtraction; oracle for :func:`subtract`."""
+    out: List[int] = []
+    i = j = 0
+    while i < len(a):
+        while j < len(b) and b[j] < a[i]:
+            j += 1
+        if j >= len(b) or b[j] != a[i]:
+            out.append(int(a[i]))
+        i += 1
+    return out
+
+
+def segment_count(total_elements: int, segment_size: int) -> int:
+    """Number of FU segment jobs for ``total_elements`` of merge input."""
+    if total_elements <= 0:
+        return 0
+    if segment_size <= 0:
+        raise ValueError("segment_size must be positive")
+    return -(-int(total_elements) // int(segment_size))

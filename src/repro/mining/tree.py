@@ -1,0 +1,265 @@
+"""Logical search-tree expansion shared by the miner and the simulator.
+
+Pattern-aware mining explores one search tree per data vertex (Figure 1
+of the paper).  A tree node at depth ``d`` matches one data vertex to
+pattern-order position ``d``; *executing* the corresponding task computes
+the **candidate set** for depth ``d + 1`` with set operations over
+neighbor sets and previously materialized intermediate results
+(Algorithm 1: ``S1 = N(u1) ∩ S0``).
+
+:class:`SearchContext` encapsulates that semantics once, so the software
+reference miner and every simulated scheduling policy execute *exactly*
+the same logical workload — the completeness/uniqueness invariant of
+§2.1 then holds for all of them by construction and is checked in tests.
+
+Intermediate-result reuse
+-------------------------
+The candidate set for depth ``d+1`` is
+``(∩_{e∈conn} N(emb[e]))  [\\  ∪_{e∈disc} N(emb[e])]``.
+Instead of recomputing from raw neighbor sets, the expansion starts from
+the deepest ancestor candidate set whose formula is a sub-formula of the
+target (clique chains reduce to ``S_d = N(v) ∩ S_{d-1}``), which is what
+gives graph mining its intermediate-data locality: sibling tasks share
+the same ancestor set as an input (§2.2, "tasks with the same parent task
+use the same intermediate results from previous depths").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ScheduleError
+from ..graph.csr import CSRGraph
+from ..patterns.schedule import MatchingSchedule
+from . import setops
+
+
+@dataclass(frozen=True)
+class SetOpInput:
+    """One input of a set operation.
+
+    ``kind`` is ``"intermediate"`` (an ancestor candidate set, identified
+    by the depth it feeds: ``ref = e`` means the candidate set computed by
+    the depth ``e - 1`` ancestor task) or ``"neighbors"`` (the adjacency of
+    data vertex ``ref``, streamed from the CSR region).
+    """
+
+    kind: str
+    ref: int
+    size: int
+
+
+@dataclass(frozen=True)
+class SetOp:
+    """One two-input sorted-merge set operation with its accounting."""
+
+    op: str  # "intersect" | "subtract" | "fetch"
+    left: Optional[SetOpInput]
+    right: Optional[SetOpInput]
+    output_size: int
+
+    @property
+    def comparisons(self) -> int:
+        """Merge-cost element comparisons of this operation."""
+        left = self.left.size if self.left is not None else 0
+        right = self.right.size if self.right is not None else 0
+        return setops.merge_cost(left, right)
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """Result of executing one task: the next-depth candidate set."""
+
+    candidates: np.ndarray
+    ops: Tuple[SetOp, ...]
+    reused_depth: Optional[int]
+
+    @property
+    def total_comparisons(self) -> int:
+        """Total merge comparisons across all ops of this expansion."""
+        return sum(op.comparisons for op in self.ops)
+
+    @property
+    def intermediate_inputs(self) -> List[SetOpInput]:
+        """The intermediate-kind inputs (for locality accounting)."""
+        out = []
+        for op in self.ops:
+            for inp in (op.left, op.right):
+                if inp is not None and inp.kind == "intermediate":
+                    out.append(inp)
+        return out
+
+    @property
+    def neighbor_inputs(self) -> List[SetOpInput]:
+        """The neighbor-set inputs (CSR / graph-region traffic)."""
+        out = []
+        for op in self.ops:
+            for inp in (op.left, op.right):
+                if inp is not None and inp.kind == "neighbors":
+                    out.append(inp)
+        return out
+
+
+class SearchContext:
+    """Schedule-driven search-tree semantics over one graph.
+
+    The context is stateless with respect to exploration order: any
+    scheduling policy may call :meth:`expand` / :meth:`children` in any
+    order, which is precisely the paper's Insight 1 (tasks without a
+    parent-child relationship are independent).
+    """
+
+    def __init__(self, graph: CSRGraph, schedule: MatchingSchedule) -> None:
+        self.graph = graph
+        self.schedule = schedule
+        # Precompute, per target depth, the deepest reusable ancestor depth
+        # and the residual intersect / subtract depth lists.
+        self._plan: List[Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]] = []
+        for d in range(schedule.depth):
+            self._plan.append(self._make_plan(d))
+
+    # ------------------------------------------------------------------
+    def _make_plan(
+        self, d: int
+    ) -> Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]:
+        """Reuse plan for computing the candidate set *for* depth ``d``.
+
+        Returns ``(reused_depth, residual_intersections, residual_subtractions)``
+        where ``reused_depth = e`` means "start from the candidate set for
+        depth ``e``" (the ancestor task at depth ``e - 1`` materialized it).
+        """
+        if d == 0:
+            return (None, (), ())
+        schedule = self.schedule
+        conn = set(schedule.connected[d])
+        disc = set(schedule.disconnected[d]) if schedule.induced else set()
+        best: Optional[int] = None
+        for e in range(1, d):
+            e_conn = set(schedule.connected[e])
+            e_disc = set(schedule.disconnected[e]) if schedule.induced else set()
+            if e_conn <= conn and e_disc <= disc:
+                if best is None or len(e_conn) + len(e_disc) > len(
+                    set(schedule.connected[best])
+                ) + (len(set(schedule.disconnected[best])) if schedule.induced else 0):
+                    best = e
+        if best is None:
+            residual_conn = tuple(sorted(conn))
+            residual_disc = tuple(sorted(disc))
+        else:
+            residual_conn = tuple(sorted(conn - set(schedule.connected[best])))
+            residual_disc = tuple(
+                sorted(disc - (set(schedule.disconnected[best]) if schedule.induced else set()))
+            )
+        return (best, residual_conn, residual_disc)
+
+    # ------------------------------------------------------------------
+    def reuse_plan(self, d: int) -> Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]:
+        """Reuse plan for the candidate set feeding depth ``d``.
+
+        Returns ``(reused_depth, residual_intersections, residual_subtractions)``;
+        exposed so policies can reason about set lifetimes.
+        """
+        return self._plan[d]
+
+    def roots(self) -> range:
+        """Every data vertex roots one search tree (line 1 of Algorithm 1)."""
+        return range(self.graph.num_vertices)
+
+    def expand(
+        self,
+        embedding: Sequence[int],
+        ancestor_sets: Optional[Sequence[np.ndarray]] = None,
+    ) -> Expansion:
+        """Execute the task matching ``embedding[-1]`` at depth ``len - 1``.
+
+        Computes the candidate set for depth ``len(embedding)`` together
+        with the set-operation trace.  ``ancestor_sets[e]`` may supply the
+        already-materialized candidate set *for* depth ``e`` (index 0
+        unused); when omitted, reusable ancestors are recomputed —
+        functionally identical, just slower.
+
+        Expanding a full-length embedding is a logic error: leaf tasks
+        have no next depth.
+        """
+        d = len(embedding)
+        if d < 1 or d > self.schedule.depth:
+            raise ScheduleError(f"embedding length {d} out of range")
+        if d == self.schedule.depth:
+            raise ScheduleError("leaf tasks have no candidate set to compute")
+
+        reused_depth, residual_conn, residual_disc = self._plan[d]
+        ops: List[SetOp] = []
+
+        if reused_depth is not None:
+            if ancestor_sets is not None and ancestor_sets[reused_depth] is not None:
+                current = ancestor_sets[reused_depth]
+            else:
+                current = self._recompute_set(embedding, reused_depth)
+            current_input = SetOpInput("intermediate", reused_depth, len(current))
+            if not residual_conn and not residual_disc:
+                # The target formula equals an ancestor's: the task only
+                # re-reads that set (one streaming pass, no merge work).
+                ops.append(SetOp("fetch", current_input, None, len(current)))
+        else:
+            # Start from the first residual neighbor set.
+            first = residual_conn[0]
+            nbrs = self.graph.neighbors(int(embedding[first]))
+            current = nbrs
+            current_input = SetOpInput("neighbors", int(embedding[first]), len(nbrs))
+            residual_conn = residual_conn[1:]
+            if not residual_conn and not residual_disc:
+                # Pure fetch (e.g. the root task: S0 = N(u0)).
+                ops.append(SetOp("fetch", current_input, None, len(current)))
+
+        for e in residual_conn:
+            nbrs = self.graph.neighbors(int(embedding[e]))
+            rhs = SetOpInput("neighbors", int(embedding[e]), len(nbrs))
+            out = setops.intersect(current, nbrs)
+            ops.append(SetOp("intersect", current_input, rhs, len(out)))
+            current = out
+            # Partial results live in the PE scratchpad, not the L1
+            # intermediate-result region, hence the distinct kind.
+            current_input = SetOpInput("spm", d, len(out))
+        for e in residual_disc:
+            nbrs = self.graph.neighbors(int(embedding[e]))
+            rhs = SetOpInput("neighbors", int(embedding[e]), len(nbrs))
+            out = setops.subtract(current, nbrs)
+            ops.append(SetOp("subtract", current_input, rhs, len(out)))
+            current = out
+            current_input = SetOpInput("spm", d, len(out))
+
+        return Expansion(candidates=current, ops=tuple(ops), reused_depth=reused_depth)
+
+    def _recompute_set(self, embedding: Sequence[int], e: int) -> np.ndarray:
+        """Recompute the candidate set for depth ``e`` from neighbor sets."""
+        conn = self.schedule.connected[e]
+        current = self.graph.neighbors(int(embedding[conn[0]]))
+        for f in conn[1:]:
+            current = setops.intersect(current, self.graph.neighbors(int(embedding[f])))
+        if self.schedule.induced:
+            for f in self.schedule.disconnected[e]:
+                current = setops.subtract(current, self.graph.neighbors(int(embedding[f])))
+        return current
+
+    def children(
+        self, embedding: Sequence[int], candidates: np.ndarray
+    ) -> List[int]:
+        """Valid child vertices at depth ``len(embedding)``.
+
+        Applies the symmetry-breaking upper bound (ascending scan cut-off)
+        and drops vertices already used by the embedding.  The returned
+        list is ascending — the order in which the task tree fetches
+        candidate vertices.
+        """
+        d = len(embedding)
+        bound = self.schedule.bound_for(embedding, d)
+        kept = setops.truncate_below(candidates, bound)
+        used = set(int(v) for v in embedding)
+        return [int(v) for v in kept if int(v) not in used]
+
+    def is_leaf_depth(self, depth: int) -> bool:
+        """Whether ``depth`` is the final search depth (no spawning)."""
+        return depth == self.schedule.max_depth

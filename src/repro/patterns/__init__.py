@@ -1,0 +1,57 @@
+"""Patterns, automorphism groups and GraphPi-style matching schedules."""
+
+from .automorphism import automorphism_count, automorphisms, orbit_representative
+from .graphpi import (
+    BENCHMARK_CODES,
+    benchmark_schedule,
+    benchmark_schedules,
+    best_schedule,
+    estimate_cost,
+    valid_orders,
+)
+from .pattern import (
+    PAPER_PATTERNS,
+    Pattern,
+    clique,
+    cycle,
+    diamond,
+    four_cycle,
+    get_pattern,
+    house,
+    star,
+    tailed_triangle,
+    triangle,
+)
+from .schedule import (
+    MatchingSchedule,
+    depth_permutations,
+    generate_restrictions,
+    make_schedule,
+)
+
+__all__ = [
+    "BENCHMARK_CODES",
+    "MatchingSchedule",
+    "PAPER_PATTERNS",
+    "Pattern",
+    "automorphism_count",
+    "automorphisms",
+    "benchmark_schedule",
+    "benchmark_schedules",
+    "best_schedule",
+    "clique",
+    "cycle",
+    "depth_permutations",
+    "diamond",
+    "estimate_cost",
+    "four_cycle",
+    "generate_restrictions",
+    "get_pattern",
+    "house",
+    "make_schedule",
+    "orbit_representative",
+    "star",
+    "tailed_triangle",
+    "triangle",
+    "valid_orders",
+]

@@ -1,0 +1,60 @@
+"""Automorphism groups of search patterns.
+
+Pattern-aware graph mining guarantees uniqueness by breaking the
+symmetries of the pattern: every automorphism of the pattern would
+otherwise produce a duplicate match of the same subgraph.  Patterns are
+tiny (the paper assumes at most 7 vertices, matching GraphPi), so a
+brute-force enumeration over all ``k!`` permutations is both exact and
+fast — and doubles as the oracle the test suite validates restriction
+generation against.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Tuple
+
+from .pattern import Pattern
+
+
+def automorphisms(pattern: Pattern) -> List[Tuple[int, ...]]:
+    """All automorphisms of ``pattern`` as permutation tuples.
+
+    A permutation ``perm`` is an automorphism iff ``(u, v)`` is an edge
+    exactly when ``(perm[u], perm[v])`` is an edge.  Because pattern
+    automorphisms preserve non-edges as well, the group is identical for
+    edge-induced and vertex-induced matching.  The identity is included,
+    so the result always has at least one element.
+    """
+    k = pattern.num_vertices
+    edges = pattern.edge_set
+    found: List[Tuple[int, ...]] = []
+    degrees = [pattern.degree(v) for v in range(k)]
+    for perm in permutations(range(k)):
+        # Degree filter rejects most non-automorphisms cheaply.
+        if any(degrees[v] != degrees[perm[v]] for v in range(k)):
+            continue
+        if all((min(perm[u], perm[v]), max(perm[u], perm[v])) in edges for u, v in edges):
+            found.append(perm)
+    return found
+
+
+def automorphism_count(pattern: Pattern) -> int:
+    """Order of the automorphism group, ``|Aut(P)|``."""
+    return len(automorphisms(pattern))
+
+
+def orbit_representative(embedding: Tuple[int, ...], autos: List[Tuple[int, ...]]) -> Tuple[int, ...]:
+    """Lexicographically largest element of the orbit of ``embedding``.
+
+    ``embedding[i]`` is the data vertex matched to pattern vertex ``i``.
+    Used by tests to verify that symmetry-breaking keeps exactly the
+    representative of each orbit (the lex-max convention matches the
+    ``break``-on-ascending-scan pruning of Algorithm 1 in the paper).
+    """
+    best = embedding
+    for perm in autos:
+        candidate = tuple(embedding[perm[i]] for i in range(len(embedding)))
+        if candidate > best:
+            best = candidate
+    return best

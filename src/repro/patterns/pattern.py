@@ -1,0 +1,197 @@
+"""Search patterns: the small graphs that graph mining matches.
+
+A :class:`Pattern` is a tiny undirected, connected, simple graph.  The six
+patterns evaluated by the paper (§5.1.2) are provided as named
+constructors with the paper's two-to-four-letter codes:
+
+========  =======================  =============================
+code      name                     structure
+========  =======================  =============================
+``tc``    triangle                 3-clique
+``tt``    tailed triangle          triangle + pendant edge
+``4cl``   4-clique                 K4
+``5cl``   5-clique                 K5
+``dia``   diamond                  K4 minus one edge
+``4cyc``  4-cycle                  C4
+========  =======================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..errors import PatternError
+
+
+class Pattern:
+    """An immutable small undirected simple graph used as a search pattern.
+
+    Vertices are ``0 .. num_vertices - 1``.  Patterns must be connected:
+    disconnected patterns cannot be matched by a single search tree.
+    """
+
+    __slots__ = ("num_vertices", "edge_set", "_adjacency", "name")
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        *,
+        name: str = "pattern",
+    ) -> None:
+        if num_vertices < 1:
+            raise PatternError("a pattern needs at least one vertex")
+        canon = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise PatternError(f"pattern self loop at vertex {u}")
+            if not (0 <= u < num_vertices and 0 <= v < num_vertices):
+                raise PatternError(f"pattern edge ({u}, {v}) out of range")
+            canon.add((min(u, v), max(u, v)))
+        self.num_vertices = num_vertices
+        self.edge_set: FrozenSet[Tuple[int, int]] = frozenset(canon)
+        adjacency: List[set] = [set() for _ in range(num_vertices)]
+        for u, v in self.edge_set:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        self._adjacency = tuple(frozenset(a) for a in adjacency)
+        self.name = name
+        if num_vertices > 1 and not self._is_connected():
+            raise PatternError(f"pattern {name!r} is not connected")
+
+    # ------------------------------------------------------------------
+    def _is_connected(self) -> bool:
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.num_vertices
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of pattern edges."""
+        return len(self.edge_set)
+
+    def adjacency(self, v: int) -> FrozenSet[int]:
+        """Neighbors of pattern vertex ``v``."""
+        return self._adjacency[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether pattern edge ``{u, v}`` exists."""
+        return v in self._adjacency[u]
+
+    def degree(self, v: int) -> int:
+        """Degree of pattern vertex ``v``."""
+        return len(self._adjacency[v])
+
+    def non_edges(self) -> List[Tuple[int, int]]:
+        """All vertex pairs that are *not* edges (``u < v``)."""
+        return [
+            (u, v)
+            for u in range(self.num_vertices)
+            for v in range(u + 1, self.num_vertices)
+            if not self.has_edge(u, v)
+        ]
+
+    def relabel(self, mapping: Sequence[int]) -> "Pattern":
+        """Pattern with vertex ``i`` renamed to ``mapping[i]``."""
+        if sorted(mapping) != list(range(self.num_vertices)):
+            raise PatternError("relabel mapping must be a permutation")
+        return Pattern(
+            self.num_vertices,
+            [(mapping[u], mapping[v]) for u, v in self.edge_set],
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Pattern)
+            and self.num_vertices == other.num_vertices
+            and self.edge_set == other.edge_set
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_vertices, self.edge_set))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern({self.name!r}, k={self.num_vertices}, edges={sorted(self.edge_set)})"
+
+
+# ----------------------------------------------------------------------
+# Named patterns
+# ----------------------------------------------------------------------
+
+def triangle() -> Pattern:
+    """The triangle (3-clique), code ``tc``."""
+    return clique(3, name="tc")
+
+
+def clique(k: int, *, name: str | None = None) -> Pattern:
+    """The complete graph on ``k`` vertices."""
+    if k < 2:
+        raise PatternError("clique size must be >= 2")
+    edges = [(u, v) for u in range(k) for v in range(u + 1, k)]
+    return Pattern(k, edges, name=name if name is not None else f"{k}cl")
+
+
+def tailed_triangle() -> Pattern:
+    """Triangle with a pendant vertex attached, code ``tt``."""
+    return Pattern(4, [(0, 1), (0, 2), (1, 2), (2, 3)], name="tt")
+
+
+def diamond() -> Pattern:
+    """K4 minus one edge, code ``dia``."""
+    return Pattern(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)], name="dia")
+
+
+def cycle(k: int, *, name: str | None = None) -> Pattern:
+    """The ``k``-cycle."""
+    if k < 3:
+        raise PatternError("cycle length must be >= 3")
+    edges = [(i, (i + 1) % k) for i in range(k)]
+    return Pattern(k, edges, name=name if name is not None else f"{k}cyc")
+
+
+def four_cycle() -> Pattern:
+    """The 4-cycle, code ``4cyc``."""
+    return cycle(4)
+
+
+def house() -> Pattern:
+    """A 4-cycle with a roof triangle (extension pattern, not in the paper)."""
+    return Pattern(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)], name="house")
+
+
+def star(k: int) -> Pattern:
+    """A star with ``k`` leaves (extension pattern)."""
+    if k < 1:
+        raise PatternError("star needs at least one leaf")
+    return Pattern(k + 1, [(0, i) for i in range(1, k + 1)], name=f"star{k}")
+
+
+#: The paper's benchmark patterns by code.
+PAPER_PATTERNS: Dict[str, Pattern] = {
+    "tc": triangle(),
+    "tt": tailed_triangle(),
+    "4cl": clique(4),
+    "5cl": clique(5),
+    "dia": diamond(),
+    "4cyc": four_cycle(),
+}
+
+
+def get_pattern(code: str) -> Pattern:
+    """Look up a paper pattern by code (``tc``, ``tt``, ``4cl``, ...)."""
+    try:
+        return PAPER_PATTERNS[code]
+    except KeyError:
+        raise PatternError(
+            f"unknown pattern {code!r}; known: {sorted(PAPER_PATTERNS)}"
+        ) from None

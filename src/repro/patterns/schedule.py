@@ -1,0 +1,205 @@
+"""Matching schedules: vertex order + symmetry-breaking restrictions.
+
+A *matching schedule* drives the search-tree construction of pattern-aware
+graph mining (Algorithm 1 of the paper is the 4-clique instance).  It
+consists of:
+
+* an **order**: the permutation of pattern vertices giving the depth at
+  which each is matched (depth 0 is the search-tree root),
+* a **mode**: edge-induced (pattern edges must exist; extra edges allowed)
+  or vertex-induced (pattern non-edges must be absent too),
+* **restrictions**: pairwise inequalities between matched data vertices
+  that break every automorphism of the pattern so each subgraph is found
+  exactly once (§2.1 "completeness and uniqueness").
+
+Restriction convention
+----------------------
+A restriction ``(i, j)`` with ``i < j`` requires ``emb[j] < emb[i]``: the
+surviving embedding is the lexicographically *largest* member of its
+automorphism orbit.  Because all vertex sets are sorted ascending, this
+turns into a scan upper bound — exactly the ``break`` statements in
+Algorithm 1 and the task-pruning rule of §3.2.2 ("the rest of the parent
+task's candidates will also satisfy the pruning condition").
+
+The restriction set is derived from the automorphism group: for every
+non-identity automorphism (expressed as a permutation of depths) take its
+smallest moved depth ``i`` and emit ``(i, tau(i))``.  An embedding
+satisfies all such pairs iff it is the lex-max of its orbit, so the scheme
+is exact — the test suite checks it against a restriction-free count
+divided by ``|Aut(P)|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..errors import ScheduleError
+from .automorphism import automorphisms
+from .pattern import Pattern
+
+
+def depth_permutations(pattern: Pattern, order: Sequence[int]) -> List[Tuple[int, ...]]:
+    """Automorphisms of ``pattern`` re-expressed as permutations of depths.
+
+    With ``order[d]`` the pattern vertex matched at depth ``d``, the
+    automorphism ``sigma`` acts on depths as
+    ``tau(d) = order^-1(sigma(order[d]))``.
+    """
+    inv = {p: d for d, p in enumerate(order)}
+    out = []
+    for sigma in automorphisms(pattern):
+        out.append(tuple(inv[sigma[order[d]]] for d in range(len(order))))
+    return out
+
+
+def generate_restrictions(pattern: Pattern, order: Sequence[int]) -> Tuple[Tuple[int, int], ...]:
+    """Symmetry-breaking restriction pairs for ``order`` (lex-max scheme).
+
+    Returns pairs ``(i, j)`` with ``i < j`` meaning ``emb[j] < emb[i]``,
+    after transitive reduction (``emb[j] < emb[k] < emb[i]`` makes
+    ``(i, j)`` redundant).
+    """
+    pairs = set()
+    for tau in depth_permutations(pattern, order):
+        moved = [d for d in range(len(tau)) if tau[d] != d]
+        if not moved:
+            continue
+        i = moved[0]
+        j = tau[i]
+        if j < i:
+            raise ScheduleError("first moved depth must map upward")  # pragma: no cover
+        pairs.add((i, j))
+    # Transitive reduction over the partial order emb[i] > emb[j].  Pairs
+    # always point upward in depth, so the relation is a DAG and removing
+    # any edge covered by a two-edge path of the *original* edge set keeps
+    # reachability (each such path can itself only be thinned to longer
+    # paths, never broken).
+    reduced = set(pairs)
+    for (i, j) in sorted(pairs):
+        if any((i, k) in pairs and (k, j) in pairs for k in range(i + 1, j)):
+            reduced.discard((i, j))
+    return tuple(sorted(reduced))
+
+
+@dataclass(frozen=True)
+class MatchingSchedule:
+    """An immutable, validated matching schedule.
+
+    Attributes
+    ----------
+    pattern:
+        The search pattern.
+    order:
+        ``order[d]`` is the pattern vertex matched at search depth ``d``.
+    induced:
+        Vertex-induced matching when true; edge-induced otherwise.
+    restrictions:
+        Pairs ``(i, j)``, ``i < j``, meaning ``emb[j] < emb[i]``.
+    name:
+        Display name, e.g. ``"4cl"`` or ``"tt_v"``.
+    """
+
+    pattern: Pattern
+    order: Tuple[int, ...]
+    induced: bool = False
+    restrictions: Tuple[Tuple[int, int], ...] = ()
+    name: str = "schedule"
+
+    # Derived, filled by __post_init__ (kept out of equality/hash on purpose).
+    connected: Tuple[Tuple[int, ...], ...] = field(
+        default=(), compare=False, repr=False
+    )
+    disconnected: Tuple[Tuple[int, ...], ...] = field(
+        default=(), compare=False, repr=False
+    )
+    upper_bound_depths: Tuple[Tuple[int, ...], ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        k = self.pattern.num_vertices
+        if sorted(self.order) != list(range(k)):
+            raise ScheduleError(f"order {self.order} is not a permutation of 0..{k - 1}")
+        connected: List[Tuple[int, ...]] = []
+        disconnected: List[Tuple[int, ...]] = []
+        for d in range(k):
+            conn = tuple(
+                e for e in range(d) if self.pattern.has_edge(self.order[e], self.order[d])
+            )
+            disc = tuple(
+                e for e in range(d) if not self.pattern.has_edge(self.order[e], self.order[d])
+            )
+            if d > 0 and not conn:
+                raise ScheduleError(
+                    f"order {self.order} is not connectivity-valid at depth {d}"
+                )
+            connected.append(conn)
+            disconnected.append(disc)
+        for i, j in self.restrictions:
+            if not (0 <= i < j < k):
+                raise ScheduleError(f"bad restriction pair ({i}, {j})")
+        bounds: List[Tuple[int, ...]] = []
+        for d in range(k):
+            bounds.append(tuple(i for (i, j) in self.restrictions if j == d))
+        object.__setattr__(self, "connected", tuple(connected))
+        object.__setattr__(self, "disconnected", tuple(disconnected))
+        object.__setattr__(self, "upper_bound_depths", tuple(bounds))
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of search depths (= pattern size)."""
+        return self.pattern.num_vertices
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest depth index (``depth - 1``)."""
+        return self.pattern.num_vertices - 1
+
+    def bound_for(self, embedding: Sequence[int], d: int) -> int | None:
+        """Exclusive upper bound on the vertex matched at depth ``d``.
+
+        ``None`` when no restriction constrains depth ``d``.  The vertex
+        scan at depth ``d`` must stop at the first candidate ``>= bound``
+        (the ``break`` of Algorithm 1).
+        """
+        depths = self.upper_bound_depths[d]
+        if not depths:
+            return None
+        return min(int(embedding[i]) for i in depths)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by examples."""
+        lines = [
+            f"schedule {self.name}: pattern={self.pattern.name} "
+            f"order={self.order} mode={'vertex-induced' if self.induced else 'edge-induced'}"
+        ]
+        for d in range(self.depth):
+            conn = ",".join(str(e) for e in self.connected[d]) or "-"
+            disc = ",".join(str(e) for e in self.disconnected[d]) or "-"
+            bnd = ",".join(str(e) for e in self.upper_bound_depths[d]) or "-"
+            lines.append(
+                f"  depth {d}: intersect N(emb[{conn}])"
+                + (f" subtract N(emb[{disc}])" if self.induced and self.disconnected[d] else "")
+                + f" bound<emb[{bnd}]"
+            )
+        return "\n".join(lines)
+
+
+def make_schedule(
+    pattern: Pattern,
+    order: Sequence[int],
+    *,
+    induced: bool = False,
+    name: str | None = None,
+) -> MatchingSchedule:
+    """Build a schedule for ``order`` with auto-generated restrictions."""
+    restrictions = generate_restrictions(pattern, order)
+    return MatchingSchedule(
+        pattern=pattern,
+        order=tuple(int(v) for v in order),
+        induced=induced,
+        restrictions=restrictions,
+        name=name if name is not None else pattern.name,
+    )

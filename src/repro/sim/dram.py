@@ -1,0 +1,68 @@
+"""DRAM model: per-channel bandwidth queues with fixed access latency.
+
+The paper simulates memory with Ramulator (DDR4-3200, 4 channels).  For
+the scheduling questions Shogun asks, what matters is that DRAM adds a
+~hundred-cycle latency and that aggregate bandwidth saturates when many
+PEs stream neighbor sets (the ``or`` dataset "has fully utilized memory
+bandwidth with neighbor set accessing", §5.3.2).  A FCFS queue per
+channel with a fixed per-line service time reproduces exactly that
+saturation behaviour; row-buffer effects are folded into the average
+latency constant.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+
+
+class DRAMModel:
+    """Channel-interleaved DRAM with per-line service occupancy."""
+
+    def __init__(
+        self,
+        channels: int,
+        latency_cycles: float,
+        service_cycles: float,
+        line_bytes: int = 64,
+    ) -> None:
+        if channels < 1:
+            raise ConfigError("DRAM needs at least one channel")
+        if latency_cycles < 0 or service_cycles <= 0:
+            raise ConfigError("DRAM timings must be positive")
+        self.channels = channels
+        self.latency_cycles = float(latency_cycles)
+        self.service_cycles = float(service_cycles)
+        self.line_bytes = line_bytes
+        self._channel_free: List[float] = [0.0] * channels
+        self.requests = 0
+        self.busy_cycles = 0.0
+
+    def channel_of(self, line_addr: int) -> int:
+        """Channel mapping: line-address interleaving."""
+        return int(line_addr) % self.channels
+
+    def request(self, line_addr: int, ready_time: float) -> float:
+        """Issue one line read at ``ready_time``; returns data-ready time.
+
+        The line occupies its channel for ``service_cycles`` (bandwidth
+        limit) and the data returns ``latency_cycles`` after service
+        starts.
+        """
+        ch = self.channel_of(line_addr)
+        start = max(self._channel_free[ch], ready_time)
+        self._channel_free[ch] = start + self.service_cycles
+        self.requests += 1
+        self.busy_cycles += self.service_cycles
+        return start + self.latency_cycles
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Aggregate channel-occupancy fraction over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / (elapsed_cycles * self.channels))
+
+    def earliest_free(self) -> float:
+        """Earliest time any channel is free (memory-pressure signal)."""
+        return min(self._channel_free)

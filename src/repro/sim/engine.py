@@ -1,0 +1,70 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event queue: events are ``(time, sequence, callback)``
+tuples ordered by time with FIFO tie-breaking, so simultaneous events run
+in schedule order and the simulation is fully deterministic.  All
+simulator components share one :class:`Engine` and advance a single
+cycle-denominated clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """Deterministic event queue with a cycle clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._seq = 0
+        self._running = False
+
+    def at(self, time: float, callback: Callback) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: float, callback: Callback) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of queued events."""
+        return len(self._queue)
+
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Stops when the queue empties, the clock passes ``until``, or
+        ``max_events`` have run (whichever first).  Callbacks may schedule
+        further events.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while self._queue:
+                time, _, callback = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = time
+                callback()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return executed

@@ -1,0 +1,59 @@
+"""Set-operation functional units: the divider + IU pool of one PE.
+
+Following FINGERS (whose computation fabric the paper adopts, §5.1.1),
+sorted vertex sets are cut into fixed-size segments by *dividers*; paired
+segments are merged by *intersection units* (IUs).  The pool is modelled
+as ``num_ius`` identical servers with FCFS segment assignment: a task
+submits all segments of one set operation at once and completes when its
+last segment drains.  Contention between concurrently executing tasks —
+the thing task scheduling actually changes — emerges from the shared
+server pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from ..errors import ConfigError
+
+
+class IUPool:
+    """FCFS pool of intersection-unit servers with utilization accounting."""
+
+    def __init__(self, num_ius: int, segment_cycles: float, num_dividers: int) -> None:
+        if num_ius < 1 or num_dividers < 1 or segment_cycles <= 0:
+            raise ConfigError("IU pool parameters must be positive")
+        self.num_ius = num_ius
+        self.segment_cycles = float(segment_cycles)
+        self.num_dividers = num_dividers
+        self._server_free: List[float] = [0.0] * num_ius
+        heapq.heapify(self._server_free)
+        self.busy_cycles = 0.0
+        self.segments_processed = 0
+
+    def submit(self, segments: int, ready_time: float) -> float:
+        """Run ``segments`` segment jobs starting no earlier than ``ready_time``.
+
+        Dividers form segments at ``num_dividers`` per cycle before IUs
+        can start.  Returns the completion time of the last segment; zero
+        segments complete immediately (a pure-fetch task).
+        """
+        if segments <= 0:
+            return ready_time
+        formed = ready_time + segments / self.num_dividers
+        finish = formed
+        for _ in range(segments):
+            start = max(heapq.heappop(self._server_free), formed)
+            done = start + self.segment_cycles
+            heapq.heappush(self._server_free, done)
+            finish = max(finish, done)
+        self.busy_cycles += segments * self.segment_cycles
+        self.segments_processed += segments
+        return finish
+
+    def utilization(self, elapsed_cycles: float) -> float:
+        """Fraction of IU-cycles spent busy over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / (elapsed_cycles * self.num_ius))

@@ -1,0 +1,295 @@
+"""Memory hierarchy: set-associative caches, scratchpads and latency model.
+
+The paper's memory system (Figure 4(a)): each PE owns a private scratchpad
+(SPM) and a private L1 that caches *only intermediate results*; a shared
+L2 backs the L1s and holds the CSR graph data (streamed, never in L1);
+DRAM sits behind the L2.  This module provides:
+
+* :class:`Cache` — a functional set-associative LRU cache at line
+  granularity (used for both L1 and L2),
+* :class:`Scratchpad` — an occupancy counter gating in-flight task data,
+* :class:`MemorySystem` — the latency/accounting layer combining the
+  caches, the NoC hop and the DRAM channel queues, with per-PE average
+  L1-latency tracking feeding the conservative-mode monitor (§3.2.3:
+  "the L1 cache thrashing is judged by the average cache access
+  latency").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError, SimulationError
+from .config import SimConfig
+from .dram import DRAMModel
+from .noc import NoC
+
+
+class Cache:
+    """Functional set-associative LRU cache at cache-line granularity."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int, name: str = "cache") -> None:
+        if size_bytes <= 0 or assoc < 1 or line_bytes <= 0:
+            raise ConfigError("invalid cache geometry")
+        lines = size_bytes // line_bytes
+        if lines < assoc:
+            raise ConfigError(f"{name}: fewer lines ({lines}) than ways ({assoc})")
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = max(1, lines // assoc)
+        self.line_bytes = line_bytes
+        # One insertion-ordered dict per set: first key = LRU.
+        self._sets: List[Dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line_addr: int) -> Dict[int, None]:
+        return self._sets[int(line_addr) % self.num_sets]
+
+    def lookup(self, line_addr: int) -> bool:
+        """Access a line: returns hit/miss and refreshes LRU order."""
+        target = self._set_of(line_addr)
+        if line_addr in target:
+            del target[line_addr]
+            target[line_addr] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check without touching LRU state or stats."""
+        return line_addr in self._set_of(line_addr)
+
+    def insert(self, line_addr: int) -> Optional[int]:
+        """Fill a line, returning the evicted line address (or ``None``)."""
+        target = self._set_of(line_addr)
+        if line_addr in target:
+            del target[line_addr]
+            target[line_addr] = None
+            return None
+        evicted = None
+        if len(target) >= self.assoc:
+            evicted = next(iter(target))
+            del target[evicted]
+            self.evictions += 1
+        target[line_addr] = None
+        return evicted
+
+    def invalidate_all(self) -> None:
+        """Drop all contents (used between independent simulations)."""
+        for s in self._sets:
+            s.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups (0.0 when never accessed)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class Scratchpad:
+    """Per-PE SPM occupancy: lines reserved by in-flight tasks."""
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines < 1:
+            raise ConfigError("scratchpad needs at least one line")
+        self.capacity = capacity_lines
+        self.used = 0
+        self.peak = 0
+
+    @property
+    def free(self) -> int:
+        """Unreserved lines."""
+        return self.capacity - self.used
+
+    def reserve(self, lines: int) -> None:
+        """Claim lines for a task round; over-reservation is a PE bug."""
+        if lines < 0 or lines > self.free:
+            raise SimulationError(
+                f"SPM reserve of {lines} lines with {self.free} free"
+            )
+        self.used += lines
+        self.peak = max(self.peak, self.used)
+
+    def release(self, lines: int) -> None:
+        """Return reserved lines."""
+        if lines < 0 or lines > self.used:
+            raise SimulationError(f"SPM release of {lines} with {self.used} used")
+        self.used -= lines
+
+
+class PELatencyWindow:
+    """Exponential moving average of L1 access latency for one PE.
+
+    The conservative-mode monitor needs a *recent* average: an EMA with a
+    per-access decay tracks thrashing onset quickly and recovers when the
+    access pattern calms down, without storing per-epoch histograms.
+    """
+
+    def __init__(self, alpha: float = 0.02, initial: float = 2.0) -> None:
+        self.alpha = alpha
+        self.value = initial
+        self.samples = 0
+        self.total_latency = 0.0
+
+    def record(self, latency: float) -> None:
+        """Fold one access latency into the moving average."""
+        self.value += self.alpha * (latency - self.value)
+        self.samples += 1
+        self.total_latency += latency
+
+    @property
+    def lifetime_average(self) -> float:
+        """Whole-run average latency (reporting, not monitoring)."""
+        return self.total_latency / self.samples if self.samples else 0.0
+
+
+class MemorySystem:
+    """Latency and accounting layer over L1s, L2, NoC and DRAM."""
+
+    def __init__(self, config: SimConfig, num_pes: Optional[int] = None) -> None:
+        self.config = config
+        pes = num_pes if num_pes is not None else config.num_pes
+        line = config.cache_line_bytes
+        self.l1s = [
+            Cache(config.l1_kb * 1024, config.l1_assoc, line, name=f"L1[{i}]")
+            for i in range(pes)
+        ]
+        self.l2 = Cache(config.l2_kb * 1024, config.l2_assoc, line, name="L2")
+        self.noc = NoC(config.noc_hop_cycles)
+        self.dram = DRAMModel(
+            config.dram_channels,
+            config.dram_latency_cycles,
+            config.dram_service_cycles,
+            line,
+        )
+        self.l1_windows = [PELatencyWindow(initial=float(config.l1_hit_cycles)) for _ in range(pes)]
+        self._l2_bank_free = [0.0] * max(1, config.l2_banks)
+        self.graph_line_fetches = 0
+        self.intermediate_line_fetches = 0
+
+    # ------------------------------------------------------------------
+    def line_addrs(self, base: int, num_bytes: int) -> List[int]:
+        """Line addresses covering ``[base, base + num_bytes)``."""
+        if num_bytes <= 0:
+            return []
+        line = self.config.cache_line_bytes
+        first = base // line
+        last = (base + num_bytes - 1) // line
+        return list(range(first, last + 1))
+
+    # ------------------------------------------------------------------
+    def _l2_access(self, line_addr: int, arrive: float) -> float:
+        """Latency path from an L2 lookup; fills L2 on miss.
+
+        The L2 is banked by line address; each bank serializes accesses
+        at one line per ``l2_service_cycles`` so aggregate bandwidth
+        scales with ``l2_banks``.
+        """
+        bank = int(line_addr) % len(self._l2_bank_free)
+        start = max(self._l2_bank_free[bank], arrive)
+        self._l2_bank_free[bank] = start + self.config.l2_service_cycles
+        done = start + self.config.l2_hit_cycles
+        if not self.l2.lookup(line_addr):
+            done = self.dram.request(line_addr, done)
+            self.l2.insert(line_addr)
+        return done
+
+    def fetch_intermediate(
+        self,
+        pe_id: int,
+        line_addrs: Sequence[int],
+        now: float,
+        *,
+        record_window: bool = True,
+    ) -> float:
+        """Read intermediate-result lines through L1 → L2 → DRAM.
+
+        Lines issue ``fetch_ports`` per cycle; the batch completes when
+        its slowest line returns.  Every line's end-to-end latency is
+        recorded in the PE's L1 latency window — an L1 hit costs
+        ``l1_hit_cycles``, a miss adds the NoC round trip plus the L2/DRAM
+        path, which is what pushes the average past the 50-cycle
+        conservative-mode threshold under thrashing.  ``record_window``
+        is cleared for single-line task-tree vertex fetches so the
+        monitor sees the dispatch unit's *set* fetch latency, not a
+        stream of hot one-line reads.
+        """
+        l1 = self.l1s[pe_id]
+        window = self.l1_windows[pe_id] if record_window else None
+        done = now
+        for i, addr in enumerate(line_addrs):
+            issue = now + i // self.config.fetch_ports
+            if l1.lookup(addr):
+                latency = float(self.config.l1_hit_cycles)
+            else:
+                arrive_l2 = issue + self.config.l1_hit_cycles + self.noc.memory_hop()
+                back = self._l2_access(addr, arrive_l2) + self.noc.memory_hop()
+                evicted = l1.insert(addr)
+                if evicted is not None:
+                    self.l2.insert(evicted)
+                latency = back - issue
+            if window is not None:
+                window.record(latency)
+            self.intermediate_line_fetches += 1
+            done = max(done, issue + latency)
+        return done
+
+    def fetch_graph(self, pe_id: int, line_addrs: Sequence[int], now: float) -> float:
+        """Read CSR graph lines (L2 → DRAM path, bypassing the L1)."""
+        done = now
+        for i, addr in enumerate(line_addrs):
+            issue = now + i // self.config.fetch_ports
+            arrive_l2 = issue + self.noc.memory_hop()
+            back = self._l2_access(addr, arrive_l2) + self.noc.memory_hop()
+            self.graph_line_fetches += 1
+            done = max(done, back)
+        return done
+
+    def install_intermediate(self, pe_id: int, line_addrs: Sequence[int]) -> None:
+        """Install freshly produced candidate-set lines into the PE's L1.
+
+        The producing task writes its output through the SPM into the L1
+        (intermediate results live in L1 and spill to L2 on replacement,
+        §3.1); the write latency is folded into the task's writeback
+        stage, so only the cache state changes here.
+        """
+        l1 = self.l1s[pe_id]
+        for addr in line_addrs:
+            evicted = l1.insert(addr)
+            if evicted is not None:
+                self.l2.insert(evicted)
+
+    def warm_l1(self, pe_id: int, line_addrs: Sequence[int]) -> None:
+        """Pre-install lines into a PE's L1 (partition-message payload)."""
+        self.install_intermediate(pe_id, line_addrs)
+
+    # ------------------------------------------------------------------
+    def l1_hit_rate(self, pe_id: int) -> float:
+        """L1 hit rate of one PE."""
+        return self.l1s[pe_id].hit_rate
+
+    def overall_l1_hit_rate(self) -> float:
+        """Hit rate aggregated across all PEs' L1s."""
+        hits = sum(c.hits for c in self.l1s)
+        accesses = sum(c.accesses for c in self.l1s)
+        return hits / accesses if accesses else 0.0
+
+    def recent_l1_latency(self, pe_id: int) -> float:
+        """Moving-average L1 access latency (conservative-mode input)."""
+        return self.l1_windows[pe_id].value
+
+    def memory_pressure(self, now: float) -> float:
+        """How far ahead of ``now`` the DRAM channels are booked (cycles).
+
+        The search-tree merging enable check uses this as the "memory
+        system bandwidth has not been used up" condition (§4.2).
+        """
+        return max(0.0, self.dram.earliest_free() - now)

@@ -1,0 +1,50 @@
+"""Network-on-chip model: latency plus serialized link bandwidth.
+
+The accelerator connects the system scheduler, the PEs and the shared L2
+with a NoC (§3.1).  Two traffic classes matter for the reproduction:
+
+* PE ↔ L2 memory traffic — a fixed hop latency added on the miss path
+  (bandwidth is dominated by the L2 port and DRAM models);
+* PE ↔ PE partition messages for task-tree splitting (§4.1) — explicit
+  transfers whose cost scales with the cache lines of the shipped
+  neighbor set, which is the data-transfer overhead the splitting scheme
+  trades against its performance gain.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class NoC:
+    """Shared interconnect with per-link serialization for messages."""
+
+    def __init__(self, hop_cycles: float, *, link_line_cycles: float = 1.0) -> None:
+        if hop_cycles < 0 or link_line_cycles <= 0:
+            raise ConfigError("NoC timings must be positive")
+        self.hop_cycles = float(hop_cycles)
+        self.link_line_cycles = float(link_line_cycles)
+        self._link_free = 0.0
+        self.messages = 0
+        self.lines_transferred = 0
+
+    def memory_hop(self) -> float:
+        """One-way PE ↔ L2 latency contribution."""
+        return self.hop_cycles
+
+    def transfer(self, lines: int, ready_time: float) -> float:
+        """Ship a ``lines``-sized message between PEs; returns arrival time.
+
+        Messages serialize on a shared link at one line per
+        ``link_line_cycles`` and pay the hop latency once; the three
+        partition-message types of §4.1 (root+range, set size, set data)
+        are modelled as one message with their combined payload.
+        """
+        if lines < 0:
+            raise ConfigError("message size cannot be negative")
+        start = max(self._link_free, ready_time)
+        occupancy = max(1.0, lines * self.link_line_cycles)
+        self._link_free = start + occupancy
+        self.messages += 1
+        self.lines_transferred += lines
+        return start + occupancy + self.hop_cycles

@@ -1,0 +1,278 @@
+"""Processing element: pipeline, execution slots, FUs and local memory.
+
+The PE (Figure 4(a)) executes tasks through five pipelined units —
+decoder, dispatch, issue, FUs, spawn — each with a one-task-per-cycle
+entry throughput; a task occupies one of ``execution_width`` execution
+slots from decode to spawn.  Inputs are staged through the SPM: the
+dispatch unit fetches intermediate results via the private L1 and
+streams neighbor sets from the L2, the issue unit fires when inputs are
+ready, and the FUs chew through divider segments on the IU pool.  For
+large-degree vertices whose working set exceeds the task's SPM share,
+the fetch/compute stages run for multiple rounds (§3.1).
+
+The simulator books all stage times analytically when the task starts:
+every shared resource (pipeline units, L2 port, DRAM channels, IU
+servers) is a booked-until-time model, so contention is preserved while
+each task costs only two events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..core.task import SimTask, TaskState
+from ..core.tokens import SetBufferMap
+from ..errors import SimulationError
+from ..mining.setops import segment_count
+from .fu import IUPool
+from .memory import Scratchpad
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.policies.base import SchedulingPolicy
+    from .accelerator import Accelerator
+
+PolicyFactory = Callable[["PE"], "SchedulingPolicy"]
+
+
+class PE:
+    """One processing element with its policy-driven task scheduler."""
+
+    def __init__(self, pe_id: int, accel: "Accelerator", policy_factory: PolicyFactory) -> None:
+        self.pe_id = pe_id
+        self.accel = accel
+        self.engine = accel.engine
+        self.config = accel.config
+        self.memory = accel.memory
+        self.context = accel.context
+        self.schedule = accel.schedule
+        graph = accel.graph
+
+        buffer_lines = max(1, -(-graph.max_degree * 4 // self.config.cache_line_bytes))
+        buffers = max(self.config.tokens_per_depth, self.config.execution_width)
+        self.buffer_map = SetBufferMap(
+            pe_id,
+            self.config.max_pattern_depth,
+            buffers,
+            buffer_lines,
+            self.config.cache_line_bytes,
+        )
+        self.iu_pool = IUPool(
+            self.config.num_ius, self.config.segment_cycles, self.config.num_dividers
+        )
+        self.spm = Scratchpad(self.config.spm_lines)
+        # Per-slot SPM share: a task whose inputs+output exceed it runs
+        # the fetch/compute stages in multiple rounds.
+        self.spm_share = max(4, self.config.spm_lines // self.config.execution_width)
+
+        # Pipeline units: one task entry per cycle each.
+        self._unit_free: Dict[str, float] = {
+            "decode": 0.0,
+            "dispatch": 0.0,
+            "issue": 0.0,
+            "spawn": 0.0,
+        }
+
+        self.slots_used = 0
+        self.tasks_executed = 0
+        self.matches = 0
+        self.finish_cycle = 0.0
+        self._kick_pending = False
+
+        # Slot-occupancy integrals.
+        self._last_integrate = 0.0
+        self._busy_slot_cycles = 0.0
+        self._idle_with_work_cycles = 0.0
+
+        # Windowed IU utilization for the locality monitor.
+        self._iu_win_start = 0.0
+        self._iu_win_busy = 0.0
+        self._iu_recent = 0.0
+
+        self.policy: "SchedulingPolicy" = policy_factory(self)
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+    def _integrate(self) -> None:
+        now = self.engine.now
+        dt = now - self._last_integrate
+        if dt <= 0:
+            return
+        self._busy_slot_cycles += self.slots_used * dt
+        if self.policy.has_work():
+            idle_slots = self.config.execution_width - self.slots_used
+            if idle_slots > 0:
+                self._idle_with_work_cycles += idle_slots * dt
+        self._last_integrate = now
+
+    def recent_iu_utilization(self) -> float:
+        """IU utilization over the last completed monitor epoch."""
+        now = self.engine.now
+        epoch = self.config.monitor_epoch_cycles
+        elapsed = now - self._iu_win_start
+        if elapsed >= epoch:
+            delta = self.iu_pool.busy_cycles - self._iu_win_busy
+            self._iu_recent = min(1.0, delta / (elapsed * self.config.num_ius))
+            self._iu_win_start = now
+            self._iu_win_busy = self.iu_pool.busy_cycles
+        return self._iu_recent
+
+    def footprint_add(self, num_bytes: int) -> None:
+        """Report a newly materialized candidate set."""
+        self.accel.footprint_add(num_bytes)
+
+    def footprint_remove(self, num_bytes: int) -> None:
+        """Report a candidate set whose last reader is done."""
+        self.accel.footprint_remove(num_bytes)
+
+    def on_tree_finished(self) -> None:
+        """Policy callback: one assigned search tree fully explored."""
+        self.finish_cycle = self.engine.now
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # dispatch loop
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Request a dispatch pass (coalesced within the current cycle)."""
+        if self._kick_pending:
+            return
+        self._kick_pending = True
+        self.engine.after(0, self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._kick_pending = False
+        self._integrate()
+        self.accel.feed_roots(self)
+        while self.slots_used < self.config.execution_width:
+            task = self.policy.select_task()
+            if task is None:
+                break
+            self._start_task(task)
+        self.accel.check_done()
+
+    def _enter_unit(self, name: str, at: float) -> float:
+        start = max(at, self._unit_free[name])
+        self._unit_free[name] = start + 1.0 / self.config.unit_tasks_per_cycle
+        return start
+
+    # ------------------------------------------------------------------
+    # task execution (all stage times booked analytically)
+    # ------------------------------------------------------------------
+    def _start_task(self, task: SimTask) -> None:
+        self._integrate()
+        self.slots_used += 1
+        task.state = TaskState.EXECUTING
+        now = self.engine.now
+
+        t = self._enter_unit("decode", now) + self.config.decode_cycles
+        t = self._enter_unit("dispatch", t) + self.config.dispatch_cycles
+
+        # Fetching this task's vertex touched one line of the parent's
+        # candidate set (the Wait_Vertex step of spawning/extending);
+        # consecutive siblings hit the same line — sibling locality.
+        vertex_line = self._vertex_fetch_line(task)
+        if vertex_line is not None:
+            t = self.memory.fetch_intermediate(
+                self.pe_id, [vertex_line], t, record_window=False
+            )
+
+        if task.depth >= self.schedule.max_depth:
+            # Leaf task: report the match, no set operation.
+            t = self._enter_unit("spawn", t + self.config.leaf_cycles)
+            t += self.config.spawn_cycles + self.config.tree_access_cycles
+            self.engine.at(t, lambda: self._complete_task(task))
+            return
+
+        expansion = self.context.expand(task.embedding, self._ancestor_sets(task))
+        task.expansion = expansion
+
+        inter_lines = self._intermediate_lines(task)
+        graph_lines = self._graph_lines(task)
+        out_bytes = len(expansion.candidates) * 4
+        out_lines = self.memory.line_addrs(task.set_address, out_bytes) if task.set_address is not None else []
+        segments = segment_count(expansion.total_comparisons, self.config.segment_elements)
+
+        total_lines = len(inter_lines) + len(graph_lines) + len(out_lines)
+        rounds = max(1, -(-total_lines // self.spm_share))
+
+        for r in range(rounds):
+            ichunk = inter_lines[r::rounds]
+            gchunk = graph_lines[r::rounds]
+            schunk = segments // rounds + (1 if r < segments % rounds else 0)
+            t_inter = self.memory.fetch_intermediate(self.pe_id, ichunk, t) if ichunk else t
+            t_graph = self.memory.fetch_graph(self.pe_id, gchunk, t) if gchunk else t
+            ready = max(t_inter, t_graph)
+            ready = self._enter_unit("issue", ready) + 1.0
+            t = self.iu_pool.submit(schunk, ready)
+
+        # Writeback: the produced candidate set lands in the L1.
+        if out_lines:
+            self.memory.install_intermediate(self.pe_id, [a for a in out_lines])
+            t += max(1.0, len(out_lines) / self.config.fetch_ports)
+        t = self._enter_unit("spawn", t)
+        t += self.config.spawn_cycles + self.config.tree_access_cycles
+        self.engine.at(t, lambda: self._complete_task(task))
+
+    def _vertex_fetch_line(self, task: SimTask) -> Optional[int]:
+        """L1 line holding this task's vertex in the parent candidate set."""
+        parent = task.parent
+        if parent is None or parent.set_address is None:
+            return None
+        byte = parent.set_address + task.child_index * 4
+        return byte // self.config.cache_line_bytes
+
+    def _ancestor_sets(self, task: SimTask) -> List[Optional[object]]:
+        """Materialized candidate sets along this task's ancestor path.
+
+        ``sets[e]`` is the candidate set *for* depth ``e`` (produced by
+        the depth ``e - 1`` ancestor); only ancestors still holding their
+        expansion contribute, which is guaranteed for the reused depth —
+        its producer is Resting exactly because descendants may read it.
+        """
+        sets: List[Optional[object]] = [None] * (self.schedule.depth + 1)
+        node = task.parent
+        while node is not None:
+            if node.expansion is not None:
+                sets[node.depth + 1] = node.expansion.candidates
+            node = node.parent
+        return sets
+
+    def _intermediate_lines(self, task: SimTask) -> List[int]:
+        """L1 line addresses of the reused ancestor candidate set."""
+        expansion = task.expansion
+        if expansion is None or expansion.reused_depth is None:
+            return []
+        producer = task.ancestor_at_depth(expansion.reused_depth - 1)
+        if producer.set_address is None:
+            raise SimulationError(
+                f"reused set of depth {expansion.reused_depth} has no address"
+            )
+        size = next(
+            (inp.size for inp in expansion.intermediate_inputs), 0
+        )
+        return self.memory.line_addrs(producer.set_address, size * 4)
+
+    def _graph_lines(self, task: SimTask) -> List[int]:
+        """L2 line addresses of all neighbor-set inputs."""
+        lines: List[int] = []
+        for inp in task.expansion.neighbor_inputs:
+            base = self.accel.graph.neighbor_set_address(inp.ref)
+            lines.extend(self.memory.line_addrs(base, inp.size * 4))
+        return lines
+
+    def _complete_task(self, task: SimTask) -> None:
+        self._integrate()
+        task.state = TaskState.COMPLETE
+        self.tasks_executed += 1
+        if task.depth >= self.schedule.max_depth:
+            self.matches += 1
+            task.children_vertices = []
+        else:
+            task.children_vertices = self.context.children(
+                task.embedding, task.expansion.candidates
+            )
+            self.footprint_add(len(task.expansion.candidates) * 4)
+        self.slots_used -= 1
+        self.policy.on_task_complete(task)
+        self.kick()

@@ -1,0 +1,68 @@
+"""Tests for the ablation experiments (small scale: execution paths only)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_conservative_mode,
+    ablation_pipeline_throughput,
+    ablation_tokens,
+    clear_run_cache,
+)
+
+SCALE = 0.12
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestConservativeAblation:
+    def test_three_modes_per_case(self):
+        result = ablation_conservative_mode(cells=[("wi", "tc")], scale=SCALE)
+        assert len(result.rows) == 3
+        assert [row[1] for row in result.rows] == ["off", "adaptive", "always"]
+
+    def test_cycles_positive(self):
+        result = ablation_conservative_mode(cells=[("wi", "tc")], scale=SCALE)
+        assert all(row[2] > 0 for row in result.rows)
+
+
+class TestTokenAblation:
+    def test_monotone_speedup_columns(self):
+        result = ablation_tokens(token_counts=(1, 4), scale=SCALE)
+        assert result.rows[0][2] == 1.0
+        assert result.rows[1][2] >= 1.0  # more tokens never slower here
+
+    def test_stalls_decrease_with_tokens(self):
+        result = ablation_tokens(token_counts=(1, 8), scale=SCALE)
+        assert result.rows[1][4] <= result.rows[0][4]
+
+
+class TestPipelineAblation:
+    def test_factor_one_is_baseline(self):
+        result = ablation_pipeline_throughput(
+            cells=[("wi", "tc")], factors=(1.0, 2.0), scale=SCALE
+        )
+        assert result.rows[0][3] == 1.0
+        assert result.rows[1][3] >= 1.0
+
+    def test_render(self):
+        result = ablation_pipeline_throughput(
+            cells=[("wi", "tc")], factors=(1.0,), scale=SCALE
+        )
+        assert "pipeline" in result.render().lower()
+
+
+class TestUnitThroughputConfig:
+    def test_faster_units_never_slow_down(self, small_er, sched_4cl):
+        from repro.sim import SimConfig, simulate
+
+        slow = simulate(small_er, sched_4cl, policy="shogun",
+                        config=SimConfig(num_pes=1))
+        fast = simulate(small_er, sched_4cl, policy="shogun",
+                        config=SimConfig(num_pes=1, unit_tasks_per_cycle=4.0))
+        assert fast.matches == slow.matches
+        assert fast.cycles <= slow.cycles

@@ -1,0 +1,154 @@
+"""Integration tests: full simulations must count exactly and report
+self-consistent metrics for every scheduling policy."""
+
+import pytest
+
+from repro.graph import erdos_renyi_gnm
+from repro.mining import count_matches, mine
+from repro.patterns import benchmark_schedule
+from repro.sim import POLICIES, SimConfig, simulate
+from repro.sim.accelerator import Accelerator, policy_factory
+from repro.errors import SimulationError
+
+ALL_POLICIES = ["shogun", "fingers", "dfs", "bfs", "parallel-dfs"]
+
+
+class TestExactCounting:
+    """Completeness & uniqueness (§2.1) hold under every exploration order."""
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("code", ["tc", "4cl", "tt_e", "dia_v", "4cyc_e"])
+    def test_counts_match_reference(self, small_er, tiny_config, policy, code):
+        sched = benchmark_schedule(code)
+        expected = count_matches(small_er, sched)
+        metrics = simulate(small_er, sched, policy=policy, config=tiny_config)
+        assert metrics.matches == expected
+
+    @pytest.mark.parametrize("policy", ["shogun", "fingers"])
+    def test_counts_on_skewed_graph(self, skewed_graph, tiny_config, policy):
+        sched = benchmark_schedule("tt_e")
+        expected = count_matches(skewed_graph, sched)
+        assert simulate(skewed_graph, sched, policy=policy, config=tiny_config).matches == expected
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_five_clique(self, medium_er, tiny_config, policy):
+        sched = benchmark_schedule("5cl")
+        expected = count_matches(medium_er, sched)
+        assert simulate(medium_er, sched, policy=policy, config=tiny_config).matches == expected
+
+    def test_task_count_matches_miner(self, small_er, tiny_config, sched_4cl):
+        stats = mine(small_er, sched_4cl).stats
+        metrics = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        assert metrics.tasks_executed == stats.total_tasks
+
+    def test_static_dispatch_counts(self, small_er, sched_4cl):
+        cfg = SimConfig(num_pes=3, root_dispatch="static")
+        expected = count_matches(small_er, sched_4cl)
+        assert simulate(small_er, sched_4cl, policy="shogun", config=cfg).matches == expected
+
+
+class TestMetricsConsistency:
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_ranges(self, small_er, tiny_config, sched_4cl, policy):
+        m = simulate(small_er, sched_4cl, policy=policy, config=tiny_config)
+        assert m.cycles > 0
+        assert 0.0 <= m.iu_utilization <= 1.0
+        assert 0.0 <= m.l1_hit_rate <= 1.0
+        assert 0.0 <= m.slot_utilization <= 1.0
+        assert 0.0 <= m.barrier_idle_fraction <= 1.0
+        assert m.peak_footprint_bytes >= 0
+        assert m.trees_completed == small_er.num_vertices
+
+    def test_per_pe_sums(self, small_er, tiny_config, sched_4cl):
+        m = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        assert sum(p.matches for p in m.per_pe) == m.matches
+        assert sum(p.tasks_executed for p in m.per_pe) == m.tasks_executed
+
+    def test_determinism(self, small_er, tiny_config, sched_4cl):
+        a = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        b = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        assert a.cycles == b.cycles
+        assert a.l1_hit_rate == b.l1_hit_rate
+
+    def test_speedup_over(self, small_er, tiny_config, sched_4cl):
+        shogun = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        dfs = simulate(small_er, sched_4cl, policy="dfs", config=tiny_config)
+        assert shogun.speedup_over(dfs) > 1.0
+        assert dfs.speedup_over(shogun) < 1.0
+
+    def test_summary_text(self, small_er, tiny_config, sched_4cl):
+        m = simulate(small_er, sched_4cl, policy="shogun", config=tiny_config)
+        assert "shogun" in m.summary()
+
+
+class TestSchedulingOrderings:
+    """The qualitative relationships of Table 1 / Figure 2."""
+
+    def test_dfs_slowest(self, small_er, tiny_config, sched_4cl):
+        dfs = simulate(small_er, sched_4cl, policy="dfs", config=tiny_config)
+        for policy in ("shogun", "fingers", "bfs"):
+            other = simulate(small_er, sched_4cl, policy=policy, config=tiny_config)
+            assert other.cycles < dfs.cycles
+
+    def test_shogun_at_least_matches_fingers(self, skewed_graph, tiny_config):
+        sched = benchmark_schedule("tt_e")
+        shogun = simulate(skewed_graph, sched, policy="shogun", config=tiny_config)
+        fingers = simulate(skewed_graph, sched, policy="fingers", config=tiny_config)
+        assert shogun.cycles <= fingers.cycles * 1.05
+
+    def test_dfs_uses_one_slot(self, small_er, tiny_config, sched_4cl):
+        m = simulate(small_er, sched_4cl, policy="dfs", config=tiny_config)
+        width = tiny_config.execution_width
+        assert m.slot_utilization <= 1.0 / width + 0.01
+
+    def test_bfs_has_largest_footprint(self, small_er, tiny_config, sched_4cl):
+        bfs = simulate(small_er, sched_4cl, policy="bfs", config=tiny_config)
+        dfs = simulate(small_er, sched_4cl, policy="dfs", config=tiny_config)
+        assert bfs.peak_footprint_bytes > dfs.peak_footprint_bytes
+
+    def test_fingers_has_barrier_idle(self, skewed_graph, tiny_config):
+        sched = benchmark_schedule("4cl")
+        m = simulate(skewed_graph, sched, policy="fingers", config=tiny_config)
+        assert m.barrier_idle_fraction > 0.0
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert set(POLICIES) == {
+            "shogun", "pseudo-dfs", "fingers", "dfs", "bfs", "parallel-dfs"
+        }
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError):
+            policy_factory("zigzag")
+
+    def test_fingers_is_pseudo_dfs(self):
+        assert POLICIES["fingers"] is POLICIES["pseudo-dfs"]
+
+
+class TestEdgeCases:
+    def test_empty_graph(self, tiny_config, sched_4cl):
+        from repro.graph import empty_graph
+
+        m = simulate(empty_graph(6), sched_4cl, policy="shogun", config=tiny_config)
+        assert m.matches == 0
+        assert m.trees_completed == 6
+
+    def test_single_pe(self, small_er, sched_4cl):
+        cfg = SimConfig(num_pes=1)
+        expected = count_matches(small_er, sched_4cl)
+        assert simulate(small_er, sched_4cl, policy="shogun", config=cfg).matches == expected
+
+    def test_width_one(self, small_er, sched_4cl):
+        cfg = SimConfig(num_pes=2, execution_width=1, bunch_entries=1, tokens_per_depth=1)
+        expected = count_matches(small_er, sched_4cl)
+        for policy in ("shogun", "fingers", "parallel-dfs"):
+            assert simulate(small_er, sched_4cl, policy=policy, config=cfg).matches == expected
+
+    def test_pattern_deeper_than_tree_rejected(self, small_er):
+        from repro.patterns import clique, make_schedule
+
+        sched = make_schedule(clique(8), tuple(range(8)))
+        cfg = SimConfig(num_pes=1, max_pattern_depth=6)
+        with pytest.raises(SimulationError):
+            Accelerator(small_er, sched, cfg, "shogun")

@@ -1,0 +1,98 @@
+"""Unit tests for system-scheduler root dispatch and run-loop plumbing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import erdos_renyi_gnm
+from repro.mining import count_matches
+from repro.patterns import benchmark_schedule
+from repro.sim import SimConfig
+from repro.sim.accelerator import Accelerator
+
+
+class TestRootDispatch:
+    def test_static_deals_round_robin(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=3, root_dispatch="static"), "shogun")
+        assert len(accel._roots) == 0
+        sizes = [len(q) for q in accel._pe_roots]
+        assert sum(sizes) == small_er.num_vertices
+        assert max(sizes) - min(sizes) <= 1
+        assert list(accel._pe_roots[0])[:2] == [0, 3]
+
+    def test_dynamic_single_queue(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=3, root_dispatch="dynamic"), "shogun")
+        assert len(accel._roots) == small_er.num_vertices
+        assert all(len(q) == 0 for q in accel._pe_roots)
+
+    def test_roots_remaining(self, small_er, sched_tc):
+        for mode in ("static", "dynamic"):
+            accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=3, root_dispatch=mode), "shogun")
+            assert accel.roots_remaining() == small_er.num_vertices
+
+    def test_both_modes_same_counts(self, small_er, sched_4cl):
+        expected = count_matches(small_er, sched_4cl)
+        for mode in ("static", "dynamic"):
+            accel = Accelerator(small_er, sched_4cl, SimConfig(num_pes=3, root_dispatch=mode), "shogun")
+            assert accel.run().matches == expected
+
+
+class TestRunLoop:
+    def test_tree_ids_unique(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=2), "shogun")
+        ids = [accel.next_tree_id() for _ in range(5)]
+        assert len(set(ids)) == 5
+
+    def test_footprint_underflow_detected(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=1), "shogun")
+        with pytest.raises(SimulationError):
+            accel.footprint_remove(100)
+
+    def test_footprint_peak(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=1), "shogun")
+        accel.footprint_add(100)
+        accel.footprint_add(50)
+        accel.footprint_remove(150)
+        assert accel.peak_footprint == 150
+
+    def test_run_twice_rejected_implicitly(self, small_er, sched_tc):
+        # A second run on a finished accelerator is a no-op returning the
+        # same finish state (all work gone).
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=1), "shogun")
+        first = accel.run()
+        second = accel.run()
+        assert second.cycles == first.cycles
+
+    def test_max_cycles_guard(self, small_er, sched_4cl):
+        cfg = SimConfig(num_pes=1, max_cycles=10)
+        accel = Accelerator(small_er, sched_4cl, cfg, "shogun")
+        with pytest.raises(SimulationError):
+            accel.run()
+
+    def test_lb_check_stops_after_finish(self, small_er, sched_tc):
+        cfg = SimConfig(num_pes=2, enable_splitting=True, lb_check_interval=10)
+        accel = Accelerator(small_er, sched_tc, cfg, "shogun")
+        metrics = accel.run()
+        assert metrics.matches == count_matches(small_er, sched_tc)
+        assert accel.engine.pending() <= 1  # at most the final LB poll
+
+
+class TestVerification:
+    def test_runner_detects_wrong_count(self, monkeypatch):
+        from repro.experiments import runner
+
+        runner.clear_run_cache()
+        key = ("wi", "tc", 0.1)
+        monkeypatch.setitem(runner._GRAPH_COUNTS, key, 10**9)
+        with pytest.raises(SimulationError):
+            runner.run_cell("wi", "tc", "shogun", scale=0.1)
+        runner.clear_run_cache()
+
+    def test_runner_verify_disabled(self, monkeypatch):
+        from repro.experiments import runner
+
+        runner.clear_run_cache()
+        key = ("wi", "tc", 0.1)
+        monkeypatch.setitem(runner._GRAPH_COUNTS, key, 10**9)
+        metrics = runner.run_cell("wi", "tc", "shogun", scale=0.1, verify=False)
+        assert metrics.matches < 10**9
+        runner.clear_run_cache()

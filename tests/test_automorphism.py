@@ -1,0 +1,88 @@
+"""Unit tests for automorphism group computation."""
+
+from repro.patterns import (
+    automorphism_count,
+    automorphisms,
+    clique,
+    cycle,
+    diamond,
+    four_cycle,
+    orbit_representative,
+    star,
+    tailed_triangle,
+    triangle,
+    Pattern,
+)
+
+
+class TestGroupSizes:
+    """Known automorphism group orders."""
+
+    def test_triangle(self):
+        assert automorphism_count(triangle()) == 6  # S3
+
+    def test_cliques(self):
+        assert automorphism_count(clique(4)) == 24  # S4
+        assert automorphism_count(clique(5)) == 120  # S5
+
+    def test_four_cycle(self):
+        assert automorphism_count(four_cycle()) == 8  # dihedral D4
+
+    def test_diamond(self):
+        assert automorphism_count(diamond()) == 4  # swap degree-3 pair x swap degree-2 pair
+
+    def test_tailed_triangle(self):
+        assert automorphism_count(tailed_triangle()) == 2  # swap the two free triangle vertices
+
+    def test_star(self):
+        assert automorphism_count(star(4)) == 24  # permute leaves
+
+    def test_path(self):
+        p = Pattern(4, [(0, 1), (1, 2), (2, 3)])
+        assert automorphism_count(p) == 2  # reversal
+
+    def test_asymmetric(self):
+        # Smallest asymmetric graph has 6 vertices; this 7-vertex tree is asymmetric.
+        p = Pattern(7, [(0, 1), (1, 2), (2, 3), (2, 4), (4, 5), (5, 6)])
+        assert automorphism_count(p) == 1
+
+
+class TestGroupProperties:
+    def test_identity_included(self):
+        for p in (triangle(), diamond(), four_cycle()):
+            assert tuple(range(p.num_vertices)) in automorphisms(p)
+
+    def test_closure_under_composition(self):
+        autos = automorphisms(four_cycle())
+        auto_set = set(autos)
+        for a in autos:
+            for b in autos:
+                composed = tuple(a[b[i]] for i in range(len(a)))
+                assert composed in auto_set
+
+    def test_all_preserve_edges(self):
+        p = diamond()
+        for perm in automorphisms(p):
+            for u, v in p.edge_set:
+                assert p.has_edge(perm[u], perm[v])
+
+
+class TestOrbitRepresentative:
+    def test_lex_max(self):
+        autos = automorphisms(triangle())
+        rep = orbit_representative((1, 5, 3), autos)
+        assert rep == (5, 3, 1)
+
+    def test_idempotent(self):
+        autos = automorphisms(four_cycle())
+        emb = (7, 2, 9, 4)
+        rep = orbit_representative(emb, autos)
+        assert orbit_representative(rep, autos) == rep
+
+    def test_orbit_members_share_representative(self):
+        autos = automorphisms(triangle())
+        emb = (1, 5, 3)
+        rep = orbit_representative(emb, autos)
+        for perm in autos:
+            member = tuple(emb[perm[i]] for i in range(3))
+            assert orbit_representative(member, autos) == rep

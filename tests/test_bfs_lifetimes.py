@@ -1,0 +1,73 @@
+"""Unit tests for BFS frontier set-lifetime logic.
+
+BFS must keep a frontier's candidate sets alive until the deepest task
+depth whose expansion can *reuse* them has executed — releasing too early
+would under-count the footprint, too late would overstate the explosion.
+"""
+
+import pytest
+
+from repro.graph import erdos_renyi_gnm
+from repro.mining import count_matches
+from repro.patterns import benchmark_schedule, make_schedule, tailed_triangle
+from repro.sim import SimConfig, simulate
+from repro.sim.accelerator import Accelerator
+
+
+def bfs_policy(graph, schedule):
+    accel = Accelerator(graph, schedule, SimConfig(num_pes=1), "bfs")
+    return accel.pes[0].policy
+
+
+class TestLastReaderDepth:
+    def test_clique_chain(self, small_er):
+        """4cl reuses each set only at the immediately following depth."""
+        policy = bfs_policy(small_er, benchmark_schedule("4cl"))
+        # The set produced by a depth-d task is read by depth d+1 tasks
+        # (vertex fetch + expansion reuse) and by nothing deeper.
+        assert policy._last_reader_depth(0) == 1
+        assert policy._last_reader_depth(1) == 2
+
+    def test_deep_reuse_extends_lifetime(self, small_er):
+        """tt with order (2,0,1,3): depth-2 expansions reuse the depth-0 set.
+
+        The candidate set for depth 3 equals the candidate set for depth
+        1 (both are N(emb[0])), so depth-2 tasks re-read the set the
+        depth-0 task produced — its lifetime extends past depth 1.
+        """
+        schedule = make_schedule(tailed_triangle(), (2, 0, 1, 3))
+        policy = bfs_policy(small_er, schedule)
+        assert policy._last_reader_depth(0) == 2
+
+    def test_footprint_returns_to_zero(self, small_er):
+        """All sets released by the end of the run (no footprint leak)."""
+        accel = Accelerator(
+            small_er, benchmark_schedule("4cl"), SimConfig(num_pes=1), "bfs"
+        )
+        accel.run()
+        assert accel._footprint == 0
+
+    @pytest.mark.parametrize("policy", ["bfs", "fingers", "dfs", "parallel-dfs", "shogun"])
+    def test_no_policy_leaks_footprint(self, small_er, policy):
+        accel = Accelerator(
+            small_er, benchmark_schedule("tt_e"), SimConfig(num_pes=2), policy
+        )
+        accel.run()
+        assert accel._footprint == 0
+
+
+class TestBFSFootprintShape:
+    def test_footprint_grows_with_graph(self):
+        sched = benchmark_schedule("4cl")
+        cfg = SimConfig(num_pes=1)
+        small = erdos_renyi_gnm(20, 60, seed=1)
+        large = erdos_renyi_gnm(60, 360, seed=1)
+        m_small = simulate(small, sched, policy="bfs", config=cfg)
+        m_large = simulate(large, sched, policy="bfs", config=cfg)
+        assert m_large.peak_footprint_bytes > m_small.peak_footprint_bytes
+
+    def test_counts_with_deep_reuse_schedule(self, small_er):
+        schedule = make_schedule(tailed_triangle(), (2, 0, 1, 3))
+        expected = count_matches(small_er, schedule)
+        m = simulate(small_er, schedule, policy="bfs", config=SimConfig(num_pes=1))
+        assert m.matches == expected

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.graph import save_edge_list
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_requires_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["count", "--pattern", "tc"])
+
+    def test_dataset_and_edge_list_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["count", "--dataset", "wi", "--edge-list", "x.txt", "--pattern", "tc"]
+            )
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+    def test_all_experiments_resolvable(self):
+        import repro.experiments as experiments
+
+        for name in EXPERIMENTS:
+            assert callable(getattr(experiments, name))
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Wiki-Vote" in out and "Orkut" in out
+
+    def test_count_dataset(self, capsys):
+        assert main(["count", "--dataset", "wi", "--scale", "0.1", "--pattern", "tc"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_count_edge_list(self, tmp_path, capsys, small_er):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_er, path)
+        assert main(["count", "--edge-list", str(path), "--pattern", "tc"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_simulate_multiple_policies(self, capsys):
+        assert main(
+            ["simulate", "--dataset", "wi", "--scale", "0.1", "--pattern", "tc",
+             "--policy", "fingers", "shogun", "--pes", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs fingers" in out
+
+    def test_simulate_with_optimizations(self, capsys):
+        assert main(
+            ["simulate", "--dataset", "wi", "--scale", "0.1", "--pattern", "tc",
+             "--policy", "shogun", "--pes", "2", "--splitting", "--merging",
+             "--width", "4"]
+        ) == 0
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        assert "178" in capsys.readouterr().out

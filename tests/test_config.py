@@ -1,0 +1,76 @@
+"""Unit tests for the simulator configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import DEFAULT_CONFIG, SimConfig
+
+
+class TestDefaults:
+    def test_table3_values(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.num_pes == 10
+        assert cfg.execution_width == 8
+        assert cfg.num_dividers == 12
+        assert cfg.num_ius == 24
+        assert cfg.cache_line_bytes == 64
+        assert cfg.spm_kb == 16
+        assert cfg.l1_kb == 32 and cfg.l1_assoc == 4
+        assert cfg.l2_kb == 4096 and cfg.l2_assoc == 8
+        assert cfg.dram_channels == 4
+        assert cfg.l1_latency_threshold == 50.0
+        assert cfg.iu_util_threshold == 0.5
+
+    def test_task_tree_entries_is_178(self):
+        assert DEFAULT_CONFIG.task_tree_entries() == 178
+
+    def test_derived_lines(self):
+        assert DEFAULT_CONFIG.l1_lines == 512
+        assert DEFAULT_CONFIG.spm_lines == 256
+        assert DEFAULT_CONFIG.elements_per_line == 16
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_pes", 0),
+            ("execution_width", 0),
+            ("bunch_entries", 0),
+            ("bunches_per_depth", 0),
+            ("tokens_per_depth", 0),
+            ("l1_kb", 0),
+            ("l2_kb", -1),
+            ("spm_kb", 0),
+            ("cache_line_bytes", 0),
+            ("l1_assoc", 0),
+            ("segment_elements", 0),
+            ("segment_cycles", 0),
+            ("num_ius", 0),
+            ("num_dividers", 0),
+            ("root_dispatch", "random"),
+            ("unit_tasks_per_cycle", 0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ConfigError):
+            SimConfig(**{field: value})
+
+
+class TestReplace:
+    def test_replace_copies(self):
+        small = DEFAULT_CONFIG.replace(num_pes=2)
+        assert small.num_pes == 2
+        assert DEFAULT_CONFIG.num_pes == 10
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_CONFIG.replace(num_pes=-1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.num_pes = 3
+
+    def test_hashable(self):
+        assert hash(DEFAULT_CONFIG) == hash(SimConfig())
+        assert DEFAULT_CONFIG == SimConfig()

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    PatternError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+
+ALL_ERRORS = [GraphError, PatternError, ScheduleError, SimulationError, ConfigError]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_base_does_not_mask_builtin():
+    with pytest.raises(TypeError):
+        try:
+            raise TypeError("not ours")
+        except ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("ReproError must not catch TypeError")

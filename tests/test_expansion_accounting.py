@@ -1,0 +1,87 @@
+"""Unit tests for expansion op traces and mining statistics accounting."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.mining import SearchContext, mine
+from repro.mining.engine import ELEMENTS_PER_LINE, lines_for
+from repro.mining.tree import SetOp, SetOpInput
+from repro.patterns import benchmark_schedule, make_schedule, tailed_triangle
+
+
+class TestLinesFor:
+    def test_zero(self):
+        assert lines_for(0) == 0
+
+    def test_partial_line(self):
+        assert lines_for(1) == 1
+        assert lines_for(ELEMENTS_PER_LINE) == 1
+
+    def test_rounds_up(self):
+        assert lines_for(ELEMENTS_PER_LINE + 1) == 2
+
+    def test_custom_line_size(self):
+        assert lines_for(10, elements_per_line=4) == 3
+
+
+class TestSetOpAccounting:
+    def test_comparisons_sum_inputs(self):
+        op = SetOp(
+            "intersect",
+            SetOpInput("intermediate", 1, 10),
+            SetOpInput("neighbors", 5, 7),
+            output_size=3,
+        )
+        assert op.comparisons == 17
+
+    def test_fetch_single_input(self):
+        op = SetOp("fetch", SetOpInput("neighbors", 5, 7), None, output_size=7)
+        assert op.comparisons == 7
+
+    def test_expansion_classifies_inputs(self, small_er):
+        ctx = SearchContext(small_er, benchmark_schedule("4cl"))
+        exp = ctx.expand((20, 5))
+        kinds = {inp.kind for op in exp.ops for inp in (op.left, op.right) if inp}
+        assert "intermediate" in kinds or "neighbors" in kinds
+        # 'spm' partial results never leak into the intermediate list.
+        assert all(inp.kind == "intermediate" for inp in exp.intermediate_inputs)
+        assert all(inp.kind == "neighbors" for inp in exp.neighbor_inputs)
+
+
+class TestReuseWithNoResidual:
+    def test_pure_reuse_emits_fetch(self, small_er):
+        """tt order (2,0,1,3): the depth-3 formula equals the depth-1 set,
+        so depth-2 tasks just re-read it (a fetch op, no merge work)."""
+        schedule = make_schedule(tailed_triangle(), (2, 0, 1, 3))
+        ctx = SearchContext(small_er, schedule)
+        root = 0
+        exp1 = ctx.expand((root,))
+        kids1 = ctx.children((root,), exp1.candidates)
+        if not kids1:
+            pytest.skip("root 0 has no children under this schedule")
+        v1 = kids1[0]
+        exp2 = ctx.expand((root, v1), [None, exp1.candidates, None, None])
+        kids2 = ctx.children((root, v1), exp2.candidates)
+        if not kids2:
+            pytest.skip("no depth-2 task to exercise")
+        exp3 = ctx.expand((root, v1, kids2[0]), [None, exp1.candidates, exp2.candidates, None])
+        assert exp3.reused_depth == 1
+        assert [op.op for op in exp3.ops] == ["fetch"]
+        assert list(exp3.candidates) == list(exp1.candidates)
+
+
+class TestMiningStatsInternals:
+    def test_intermediate_elements_tracked(self, small_er):
+        stats = mine(small_er, benchmark_schedule("4cl")).stats
+        assert stats.intermediate_input_elements >= stats.intermediate_input_lines
+
+    def test_materialized_elements(self, small_er):
+        stats = mine(small_er, benchmark_schedule("tc")).stats
+        assert stats.materialized_elements > 0
+
+    def test_avg_lines_zero_when_no_expansions(self):
+        g = from_edges([], num_vertices=4)
+        stats = mine(g, benchmark_schedule("tc")).stats
+        # Roots expand (producing empty sets); matches stay zero.
+        assert stats.match_count == 0
+        assert stats.avg_intermediate_lines_per_task == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the experiment harness (runner, workloads, tables, figures).
+
+Figures run at a tiny dataset scale with reduced grids so the whole file
+stays fast while still executing every harness code path end to end.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    EXCLUDED,
+    clear_run_cache,
+    eval_config,
+    evaluation_grid,
+    figure3a,
+    figure3b,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13a,
+    figure13b,
+    figure14,
+    patterns_for,
+    percent,
+    reference_count,
+    render_table,
+    run_cell,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+SCALE = 0.12  # tiny stand-ins: every dataset tens of vertices
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _clean_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestWorkloads:
+    def test_grid_size(self):
+        assert len(evaluation_grid()) == 49
+
+    def test_exclusions_absent(self):
+        grid = evaluation_grid()
+        for cell in EXCLUDED:
+            assert cell not in grid
+
+    def test_patterns_for(self):
+        assert "5cl" in patterns_for("wi")
+        assert "5cl" not in patterns_for("or")
+        assert len(patterns_for("or")) == 5
+
+
+class TestRunner:
+    def test_eval_config_is_table3_scaled(self):
+        cfg = eval_config()
+        assert cfg.num_pes == 10
+        assert cfg.execution_width == 8
+        assert cfg.task_tree_entries() == 178
+        assert cfg.l1_kb < 32  # scaled hierarchy
+
+    def test_eval_config_overrides(self):
+        assert eval_config(num_pes=3).num_pes == 3
+
+    def test_run_cell_verifies_and_caches(self):
+        a = run_cell("wi", "tc", "shogun", scale=SCALE)
+        b = run_cell("wi", "tc", "shogun", scale=SCALE)
+        assert a is b
+        assert a.matches == reference_count("wi", "tc", scale=SCALE)
+
+    def test_distinct_configs_not_conflated(self):
+        a = run_cell("wi", "tc", "shogun", scale=SCALE)
+        c = run_cell("wi", "tc", "shogun", config=eval_config(num_pes=2), scale=SCALE)
+        assert a is not c
+
+
+class TestReporting:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xyz", 0.123]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "xyz" in text and "0.123" in text
+
+    def test_percent(self):
+        assert percent(1.43) == "+43%"
+        assert percent(0.9) == "-10%"
+
+
+class TestTables:
+    def test_table1(self):
+        result = table1("wi", "tc", scale=SCALE)
+        assert len(result.rows) == 4
+        assert "bfs" in result.render()
+
+    def test_table2(self):
+        result = table2(datasets=["wi", "pa"], scale=SCALE)
+        assert len(result.rows) == 2
+        assert all(isinstance(row[1], float) for row in result.rows)
+
+    def test_table3_mentions_task_tree(self):
+        assert "178" in table3().render()
+
+    def test_table4_lists_all_datasets(self):
+        result = table4(scale=SCALE)
+        assert len(result.rows) == 6
+        assert "Wiki-Vote" in result.render()
+
+
+class TestFigures:
+    def test_figure3a(self):
+        result = figure3a(widths=(1, 2), scale=SCALE)
+        assert len(result.rows) == 2
+        assert result.rows[0][1] == 1.0  # normalized baseline
+
+    def test_figure3b(self):
+        result = figure3b(widths=(1, 2), scale=SCALE)
+        assert "hit" in result.headers[2]
+
+    def test_figure9_and_10_share_runs(self):
+        grid = [("wi", "tc"), ("pa", "tc")]
+        f9 = figure9(scale=SCALE, grid=grid)
+        f10 = figure10(scale=SCALE, grid=grid)
+        assert len(f9.rows) == 2 and len(f10.rows) == 2
+        assert f9.raw["geomean"] > 0
+
+    def test_figure11(self):
+        result = figure11("wi", num_pes=4, scale=SCALE)
+        assert len(result.rows) == len(patterns_for("wi"))
+
+    def test_figure12(self):
+        result = figure12(scale=SCALE, grid=[("pa", "tc")])
+        assert result.raw["geomean_merged"] > 0
+
+    def test_figure13a(self):
+        result = figure13a(widths=(2, 4), cells=[("wi", "tc")], scale=SCALE)
+        assert len(result.rows) == 2
+
+    def test_figure13b(self):
+        result = figure13b(bunch_counts=(2, 4), cells=[("wi", "tc")], scale=SCALE)
+        assert result.rows[0][2] == 1.0
+
+    def test_figure14(self):
+        result = figure14(cells=[("wi", "tc")], scale=SCALE)
+        assert len(result.rows) == 2  # two L1 configs x one cell
+
+    def test_render_includes_summary(self):
+        result = figure9(scale=SCALE, grid=[("wi", "tc")])
+        assert "geomean" in result.render()

@@ -1,0 +1,160 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GRAPH_REGION_BASE,
+    VERTEX_BYTES,
+    CSRGraph,
+    empty_graph,
+    from_edges,
+    induced_subgraph,
+    relabel_by_degree,
+)
+
+
+class TestBasics:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 5
+        assert tiny_graph.num_edges == 9
+
+    def test_len(self, tiny_graph):
+        assert len(tiny_graph) == 5
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.degree(0) == 3
+        assert tiny_graph.degree(3) == 4
+        assert list(tiny_graph.degrees) == [3, 4, 4, 4, 3]
+
+    def test_max_degree(self, tiny_graph):
+        assert tiny_graph.max_degree == 4
+
+    def test_average_degree(self, tiny_graph):
+        assert tiny_graph.average_degree == pytest.approx(18 / 5)
+
+    def test_neighbors_sorted(self, tiny_graph):
+        for v in tiny_graph.vertices():
+            row = tiny_graph.neighbors(v)
+            assert list(row) == sorted(set(int(x) for x in row))
+
+    def test_neighbors_content(self, tiny_graph):
+        assert list(tiny_graph.neighbors(0)) == [1, 2, 3]
+        assert list(tiny_graph.neighbors(4)) == [1, 2, 3]
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(0, 4)
+        assert not tiny_graph.has_edge(0, 0)
+
+    def test_edges_iteration(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert len(edges) == tiny_graph.num_edges
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == len(edges)
+
+    def test_to_edge_list_roundtrip(self, tiny_graph):
+        rebuilt = from_edges(tiny_graph.to_edge_list(), num_vertices=5)
+        assert np.array_equal(rebuilt.indptr, tiny_graph.indptr)
+        assert np.array_equal(rebuilt.indices, tiny_graph.indices)
+
+
+class TestEmptyGraph:
+    def test_zero_vertices(self):
+        g = empty_graph(0)
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.max_degree == 0
+        assert g.average_degree == 0.0
+
+    def test_isolated_vertices(self):
+        g = empty_graph(5)
+        assert g.num_vertices == 5
+        assert list(g.neighbors(3)) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(GraphError):
+            empty_graph(-1)
+
+
+class TestValidation:
+    def test_bad_indptr_start(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+    def test_indptr_indices_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 3]), np.array([0]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 2, 1, 2]), np.array([1, 2]))
+
+    def test_out_of_range_indices(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([5]))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            CSRGraph(np.array([0, 1]), np.array([0]))
+
+    def test_unsorted_adjacency_rejected(self):
+        # Vertex 0 adjacent to 2 then 1 (unsorted).
+        with pytest.raises(GraphError):
+            CSRGraph(
+                np.array([0, 2, 3, 4]),
+                np.array([2, 1, 0, 0]),
+            )
+
+
+class TestAddressMap:
+    def test_base_region(self, tiny_graph):
+        assert tiny_graph.neighbor_set_address(0) == GRAPH_REGION_BASE
+
+    def test_addresses_monotone(self, tiny_graph):
+        addrs = [tiny_graph.neighbor_set_address(v) for v in tiny_graph.vertices()]
+        assert addrs == sorted(addrs)
+
+    def test_bytes(self, tiny_graph):
+        assert tiny_graph.neighbor_set_bytes(3) == 4 * VERTEX_BYTES
+
+    def test_adjacent_regions(self, tiny_graph):
+        for v in range(tiny_graph.num_vertices - 1):
+            end = tiny_graph.neighbor_set_address(v) + tiny_graph.neighbor_set_bytes(v)
+            assert end == tiny_graph.neighbor_set_address(v + 1)
+
+
+class TestTransforms:
+    def test_relabel_by_degree_preserves_structure(self, tiny_graph):
+        relabeled = relabel_by_degree(tiny_graph)
+        assert relabeled.num_edges == tiny_graph.num_edges
+        assert sorted(relabeled.degrees) == sorted(tiny_graph.degrees)
+
+    def test_relabel_descending(self, small_er):
+        relabeled = relabel_by_degree(small_er)
+        degs = list(relabeled.degrees)
+        assert all(degs[i] >= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_relabel_ascending(self, small_er):
+        relabeled = relabel_by_degree(small_er, descending=False)
+        degs = list(relabeled.degrees)
+        assert all(degs[i] <= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_induced_subgraph(self, tiny_graph):
+        sub = induced_subgraph(tiny_graph, [0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3  # triangle 0-1-2
+
+    def test_induced_subgraph_duplicate_rejected(self, tiny_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(tiny_graph, [0, 0, 1])
+
+    def test_subgraph_degrees(self, tiny_graph):
+        assert tiny_graph.subgraph_degrees([0, 1, 2]) == [2, 2, 2]
+
+    def test_is_isomorphic_embedding(self, tiny_graph):
+        triangle_adj = [[1, 2], [0, 2], [0, 1]]
+        assert tiny_graph.is_isomorphic_embedding((0, 1, 2), triangle_adj)
+        assert not tiny_graph.is_isomorphic_embedding((0, 1, 4), triangle_adj)

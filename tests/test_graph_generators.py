@@ -1,0 +1,135 @@
+"""Unit + property tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    degree_sorted,
+    erdos_renyi_gnm,
+    powerlaw_cluster,
+    powerlaw_configuration,
+    random_regularish,
+)
+from repro.graph.stats import degree_skewness, global_clustering
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi_gnm(50, 200, seed=1)
+        assert g.num_edges == 200
+        assert g.num_vertices == 50
+
+    def test_deterministic(self):
+        a = erdos_renyi_gnm(40, 100, seed=5)
+        b = erdos_renyi_gnm(40, 100, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi_gnm(40, 100, seed=5)
+        b = erdos_renyi_gnm(40, 100, seed=6)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_too_many_edges(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnm(4, 10, seed=0)
+
+    def test_complete_graph(self):
+        g = erdos_renyi_gnm(5, 10, seed=0)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_negative_args(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_gnm(-1, 0)
+
+
+class TestPowerlawConfiguration:
+    def test_mean_degree_near_target(self):
+        g = powerlaw_configuration(500, target_avg_degree=8.0, seed=2)
+        assert 4.0 < g.average_degree < 10.0
+
+    def test_skewness_positive(self):
+        g = powerlaw_configuration(500, target_avg_degree=6.0, exponent=1.9, seed=2)
+        assert degree_skewness(g) > 1.0
+
+    def test_deterministic(self):
+        a = powerlaw_configuration(100, 5.0, seed=9)
+        b = powerlaw_configuration(100, 5.0, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_max_degree_respected_by_sampling(self):
+        g = powerlaw_configuration(200, 5.0, seed=4, max_degree=20)
+        assert g.max_degree <= 20
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            powerlaw_configuration(1, 2.0)
+
+
+class TestPowerlawCluster:
+    def test_clustering_high(self):
+        g = powerlaw_cluster(300, edges_per_vertex=4, triangle_prob=0.8, seed=3)
+        assert global_clustering(g) > 0.05
+
+    def test_triangle_prob_increases_clustering(self):
+        low = powerlaw_cluster(300, 4, 0.0, seed=3)
+        high = powerlaw_cluster(300, 4, 0.9, seed=3)
+        assert global_clustering(high) > global_clustering(low)
+
+    def test_edge_count_lower_bound(self):
+        g = powerlaw_cluster(100, 3, 0.5, seed=1)
+        assert g.num_edges >= 3 * (100 - 4)
+
+    def test_param_validation(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster(10, 0, 0.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster(10, 3, 1.5)
+        with pytest.raises(GraphError):
+            powerlaw_cluster(3, 3, 0.5)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster(80, 3, 0.6, seed=12)
+        b = powerlaw_cluster(80, 3, 0.6, seed=12)
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestRegularish:
+    def test_low_skew(self):
+        g = random_regularish(400, degree=6, seed=5)
+        assert abs(degree_skewness(g)) < 1.0
+
+    def test_mean_near_target(self):
+        g = random_regularish(400, degree=6, seed=5)
+        assert 4.0 < g.average_degree < 7.0
+
+
+class TestDegreeSorted:
+    def test_descending(self):
+        g = degree_sorted(powerlaw_configuration(100, 5.0, seed=1))
+        degs = list(g.degrees)
+        assert all(degs[i] >= degs[i + 1] for i in range(len(degs) - 1))
+
+    def test_name_preserved(self):
+        g = powerlaw_configuration(50, 4.0, seed=1, name="abc")
+        assert degree_sorted(g).name == "abc"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    m=st.integers(min_value=0, max_value=80),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_gnm_always_canonical(n, m, seed):
+    """Property: generated graphs always satisfy the CSR invariants."""
+    m = min(m, n * (n - 1) // 2)
+    g = erdos_renyi_gnm(n, m, seed=seed)
+    assert g.num_edges == m
+    for v in g.vertices():
+        row = g.neighbors(v)
+        assert all(row[i] < row[i + 1] for i in range(len(row) - 1))
+        assert v not in set(int(x) for x in row)

@@ -1,0 +1,55 @@
+"""Unit tests for the SNAP-style edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import load_edge_list, save_edge_list
+
+
+def test_roundtrip(tmp_path, small_er):
+    path = tmp_path / "g.txt"
+    save_edge_list(small_er, path)
+    loaded = load_edge_list(path)
+    assert np.array_equal(loaded.indptr, small_er.indptr)
+    assert np.array_equal(loaded.indices, small_er.indices)
+
+
+def test_comments_ignored(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n0 1\n\n# more\n1 2\n")
+    g = load_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_whitespace_tolerant(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\t1\n 1   2 \n")
+    g = load_edge_list(path)
+    assert g.num_edges == 2
+
+
+def test_name_from_filename(tmp_path):
+    path = tmp_path / "mygraph.txt"
+    path.write_text("0 1\n")
+    assert load_edge_list(path).name == "mygraph"
+
+
+def test_explicit_name(tmp_path):
+    path = tmp_path / "x.txt"
+    path.write_text("0 1\n")
+    assert load_edge_list(path, name="custom").name == "custom"
+
+
+def test_malformed_line(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+
+
+def test_non_integer(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("a b\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)

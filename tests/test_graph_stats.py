@@ -1,0 +1,76 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro.graph import (
+    compute_stats,
+    degree_skewness,
+    empty_graph,
+    erdos_renyi_gnm,
+    from_edges,
+    global_clustering,
+    triangle_count,
+)
+from repro.patterns import triangle
+from repro.mining import count_unique_subgraphs
+
+
+class TestTriangleCount:
+    def test_triangle(self):
+        g = from_edges([(0, 1), (1, 2), (0, 2)])
+        assert triangle_count(g) == 1
+
+    def test_k4(self):
+        g = from_edges([(u, v) for u in range(4) for v in range(u + 1, 4)])
+        assert triangle_count(g) == 4
+
+    def test_path_has_none(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3)])
+        assert triangle_count(g) == 0
+
+    def test_matches_pattern_miner(self, small_er):
+        assert triangle_count(small_er) == count_unique_subgraphs(small_er, triangle())
+
+    def test_fig1_graph(self, tiny_graph):
+        # Figure 1's input graph contains 7 triangles.
+        assert triangle_count(tiny_graph) == count_unique_subgraphs(tiny_graph, triangle())
+
+
+class TestClustering:
+    def test_complete_graph(self):
+        g = from_edges([(u, v) for u in range(5) for v in range(u + 1, 5)])
+        assert global_clustering(g) == pytest.approx(1.0)
+
+    def test_triangle_free(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])  # 4-cycle
+        assert global_clustering(g) == 0.0
+
+    def test_empty(self):
+        assert global_clustering(empty_graph(10)) == 0.0
+
+
+class TestSkewness:
+    def test_regular_zero(self):
+        g = from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_skewness(g) == pytest.approx(0.0)
+
+    def test_star_positive(self):
+        g = from_edges([(0, i) for i in range(1, 20)])
+        assert degree_skewness(g) > 2.0
+
+    def test_empty(self):
+        assert degree_skewness(empty_graph(0)) == 0.0
+
+
+class TestComputeStats:
+    def test_fields(self, small_er):
+        stats = compute_stats(small_er)
+        assert stats.num_vertices == 30
+        assert stats.num_edges == 120
+        assert stats.average_degree == pytest.approx(8.0)
+        assert stats.max_degree >= 8
+        assert 0.0 <= stats.clustering <= 1.0
+
+    def test_describe(self, small_er):
+        text = compute_stats(small_er).describe()
+        assert "|V|=30" in text and "|E|=120" in text

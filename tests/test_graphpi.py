@@ -1,0 +1,92 @@
+"""Unit tests for GraphPi-style schedule generation and selection."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.patterns import (
+    BENCHMARK_CODES,
+    benchmark_schedule,
+    benchmark_schedules,
+    best_schedule,
+    clique,
+    estimate_cost,
+    four_cycle,
+    generate_restrictions,
+    tailed_triangle,
+    triangle,
+    valid_orders,
+)
+
+
+class TestValidOrders:
+    def test_clique_all_orders_valid(self):
+        assert len(list(valid_orders(clique(4)))) == 24
+
+    def test_tailed_triangle(self):
+        orders = list(valid_orders(tailed_triangle()))
+        # The tail (3) is either the root or matched after its anchor (2)
+        # — it has no other attachment point.
+        for order in orders:
+            assert order.index(3) == 0 or order.index(3) > order.index(2)
+
+    def test_four_cycle_excludes_diagonal_starts(self):
+        orders = set(valid_orders(four_cycle()))
+        assert (0, 2, 1, 3) not in orders  # 2 not adjacent to 0
+        assert (0, 1, 2, 3) in orders
+
+
+class TestCostModel:
+    def test_positive(self):
+        cost = estimate_cost(clique(3), (0, 1, 2), generate_restrictions(clique(3), (0, 1, 2)))
+        assert cost > 0
+
+    def test_restrictions_reduce_cost(self):
+        order = (0, 1, 2, 3)
+        with_r = estimate_cost(clique(4), order, generate_restrictions(clique(4), order))
+        without = estimate_cost(clique(4), order, ())
+        assert with_r < without
+
+    def test_density_increases_cost(self):
+        order = (0, 1, 2)
+        sparse = estimate_cost(triangle(), order, (), avg_degree=4.0)
+        dense = estimate_cost(triangle(), order, (), avg_degree=40.0)
+        assert dense > sparse
+
+
+class TestBestSchedule:
+    def test_returns_valid(self):
+        s = best_schedule(tailed_triangle())
+        assert s.pattern == tailed_triangle()
+        assert sorted(s.order) == [0, 1, 2, 3]
+
+    def test_induced_flag(self):
+        assert best_schedule(four_cycle(), induced=True).induced
+        assert not best_schedule(four_cycle()).induced
+
+    def test_deterministic(self):
+        assert best_schedule(four_cycle()).order == best_schedule(four_cycle()).order
+
+
+class TestBenchmarkSchedules:
+    def test_all_codes(self):
+        schedules = benchmark_schedules()
+        assert [s.name for s in schedules] == list(BENCHMARK_CODES)
+
+    def test_variants(self):
+        assert not benchmark_schedule("tt_e").induced
+        assert benchmark_schedule("tt_v").induced
+        assert not benchmark_schedule("tc").induced
+
+    def test_cached(self):
+        assert benchmark_schedule("4cl") is benchmark_schedule("4cl")
+
+    def test_unknown(self):
+        with pytest.raises(ScheduleError):
+            benchmark_schedule("tc_v")  # cliques have no induced variant
+        with pytest.raises(ScheduleError):
+            benchmark_schedule("nope")
+
+    def test_clique_schedules_fully_restricted(self):
+        # k-cliques have S_k symmetry: k-1 chained restrictions.
+        assert len(benchmark_schedule("4cl").restrictions) == 3
+        assert len(benchmark_schedule("5cl").restrictions) == 4

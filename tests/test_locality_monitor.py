@@ -1,0 +1,82 @@
+"""Unit tests for the conservative-mode locality monitor."""
+
+import pytest
+
+from repro.core import LocalityMonitor
+from repro.errors import ConfigError
+from repro.sim import SimConfig
+
+
+def monitor(**overrides):
+    return LocalityMonitor(SimConfig(num_pes=1, **overrides))
+
+
+BAD = dict(l1_avg_latency=80.0, iu_utilization=0.1)   # thrash + starving
+GOOD = dict(l1_avg_latency=3.0, iu_utilization=0.8)
+
+
+class TestEntry:
+    def test_starts_normal(self):
+        assert not monitor().conservative
+
+    def test_enters_on_both_conditions(self):
+        m = monitor()
+        assert m.observe(**BAD)
+        assert m.conservative
+        assert m.entries == 1
+
+    def test_latency_alone_not_enough(self):
+        m = monitor()
+        assert not m.observe(l1_avg_latency=80.0, iu_utilization=0.9)
+
+    def test_low_util_alone_not_enough(self):
+        m = monitor()
+        assert not m.observe(l1_avg_latency=3.0, iu_utilization=0.1)
+
+    def test_threshold_boundaries(self):
+        m = monitor()
+        # Exactly at the thresholds: not strictly beyond -> stay normal.
+        assert not m.observe(l1_avg_latency=50.0, iu_utilization=0.5)
+
+
+class TestExit:
+    def test_needs_consecutive_clear_epochs(self):
+        m = monitor(monitor_exit_epochs=2)
+        m.observe(**BAD)
+        m.observe(**GOOD)
+        assert m.conservative  # only one clear epoch
+        m.observe(**GOOD)
+        assert not m.conservative
+
+    def test_streak_resets_on_relapse(self):
+        m = monitor(monitor_exit_epochs=2)
+        m.observe(**BAD)
+        m.observe(**GOOD)
+        m.observe(**BAD)
+        m.observe(**GOOD)
+        assert m.conservative
+
+    def test_reentry_counts(self):
+        m = monitor(monitor_exit_epochs=1)
+        m.observe(**BAD)
+        m.observe(**GOOD)
+        m.observe(**BAD)
+        assert m.entries == 2
+
+
+class TestAccounting:
+    def test_fraction(self):
+        m = monitor(monitor_exit_epochs=1)
+        m.observe(**GOOD)
+        m.observe(**BAD)
+        m.observe(**GOOD)
+        m.observe(**GOOD)
+        assert m.observations == 4
+        assert m.conservative_fraction == pytest.approx(0.25)
+
+    def test_fraction_empty(self):
+        assert monitor().conservative_fraction == 0.0
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigError):
+            LocalityMonitor(SimConfig(num_pes=1, monitor_exit_epochs=0))

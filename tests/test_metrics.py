@@ -1,0 +1,54 @@
+"""Unit tests for metrics containers and aggregation helpers."""
+
+import pytest
+
+from repro.sim import PEMetrics, RunMetrics, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == 3.0
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, -1.0, 4.0]) == 4.0
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+
+class TestRunMetrics:
+    def test_speedup_over(self):
+        fast = RunMetrics(policy="a", cycles=50.0)
+        slow = RunMetrics(policy="b", cycles=100.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.5)
+
+    def test_speedup_zero_cycles(self):
+        zero = RunMetrics(policy="a", cycles=0.0)
+        other = RunMetrics(policy="b", cycles=10.0)
+        assert zero.speedup_over(other) == float("inf")
+
+    def test_summary_contains_key_numbers(self):
+        m = RunMetrics(policy="shogun", cycles=123.0, matches=7)
+        text = m.summary()
+        assert "shogun" in text and "123" in text and "7" in text
+
+    def test_default_collections(self):
+        m = RunMetrics(policy="x")
+        assert m.per_pe == []
+        assert m.extra == {}
+
+
+class TestPEMetrics:
+    def test_hit_rate(self):
+        pm = PEMetrics(pe_id=0, l1_hits=3, l1_misses=1)
+        assert pm.l1_hit_rate == pytest.approx(0.75)
+
+    def test_hit_rate_no_accesses(self):
+        assert PEMetrics(pe_id=0).l1_hit_rate == 0.0

@@ -1,0 +1,135 @@
+"""Correctness tests for the reference miner against the naive oracle."""
+
+import pytest
+
+from repro.graph import empty_graph, erdos_renyi_gnm, from_edges
+from repro.mining import count_matches, count_unique_subgraphs, mine
+from repro.patterns import (
+    BENCHMARK_CODES,
+    benchmark_schedule,
+    get_pattern,
+    make_schedule,
+    clique,
+    orbit_representative,
+    automorphisms,
+)
+
+
+def _base_code(code):
+    return code[:-2] if code.endswith(("_e", "_v")) else code
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("code", BENCHMARK_CODES)
+    def test_all_benchmark_schedules(self, small_er, code):
+        sched = benchmark_schedule(code)
+        pattern = get_pattern(_base_code(code))
+        expected = count_unique_subgraphs(small_er, pattern, induced=sched.induced)
+        assert count_matches(small_er, sched) == expected
+
+    @pytest.mark.parametrize("code", ["tc", "4cl", "4cyc_e", "dia_v"])
+    def test_on_skewed_graph(self, skewed_graph, code):
+        sched = benchmark_schedule(code)
+        pattern = get_pattern(_base_code(code))
+        expected = count_unique_subgraphs(skewed_graph, pattern, induced=sched.induced)
+        assert count_matches(skewed_graph, sched) == expected
+
+    def test_fig1_four_cliques(self, tiny_graph):
+        # Figure 1 finds exactly the pattern's subgraphs in the 5-vertex graph.
+        assert count_matches(tiny_graph, benchmark_schedule("4cl")) == count_unique_subgraphs(
+            tiny_graph, clique(4)
+        )
+
+    def test_empty_graph(self):
+        assert count_matches(empty_graph(10), benchmark_schedule("tc")) == 0
+
+    def test_clique_on_complete_graph(self):
+        k6 = from_edges([(u, v) for u in range(6) for v in range(u + 1, 6)])
+        assert count_matches(k6, benchmark_schedule("4cl")) == 15  # C(6,4)
+        assert count_matches(k6, benchmark_schedule("5cl")) == 6  # C(6,5)
+        assert count_matches(k6, benchmark_schedule("tc")) == 20  # C(6,3)
+
+
+class TestEmbeddings:
+    def test_embeddings_are_valid_and_unique(self, small_er):
+        sched = benchmark_schedule("4cl")
+        result = mine(small_er, sched, collect_embeddings=True)
+        autos = automorphisms(sched.pattern)
+        seen_orbits = set()
+        for emb in result.embeddings:
+            assert len(set(emb)) == len(emb)
+            # All pattern edges present.
+            for d in range(1, sched.depth):
+                for e in sched.connected[d]:
+                    assert small_er.has_edge(emb[e], emb[d])
+            orbit = orbit_representative(emb, autos)
+            assert orbit not in seen_orbits  # uniqueness
+            seen_orbits.add(orbit)
+
+    def test_embeddings_lex_max(self, small_er):
+        sched = benchmark_schedule("tc")
+        result = mine(small_er, sched, collect_embeddings=True)
+        autos = automorphisms(sched.pattern)
+        for emb in result.embeddings:
+            assert orbit_representative(emb, autos) == emb
+
+    def test_vertex_induced_excludes_extra_edges(self, small_er):
+        sched = benchmark_schedule("4cyc_v")
+        result = mine(small_er, sched, collect_embeddings=True)
+        order = sched.order
+        for emb in result.embeddings:
+            for (u, v) in sched.pattern.non_edges():
+                du = order.index(u)
+                dv = order.index(v)
+                assert not small_er.has_edge(emb[du], emb[dv])
+
+
+class TestStats:
+    def test_task_counts(self, tiny_graph, sched_tc):
+        result = mine(tiny_graph, sched_tc)
+        stats = result.stats
+        assert stats.tasks_per_depth[0] == tiny_graph.num_vertices
+        assert stats.tasks_per_depth[-1] == result.count
+        assert stats.total_tasks == sum(stats.tasks_per_depth)
+
+    def test_expanding_tasks_excludes_leaves(self, tiny_graph, sched_tc):
+        stats = mine(tiny_graph, sched_tc).stats
+        assert stats.expanding_tasks == stats.total_tasks - stats.tasks_per_depth[-1]
+
+    def test_comparisons_positive(self, small_er, sched_4cl):
+        assert mine(small_er, sched_4cl).stats.total_comparisons > 0
+
+    def test_avg_intermediate_lines(self, small_er, sched_4cl):
+        stats = mine(small_er, sched_4cl).stats
+        assert stats.avg_intermediate_lines_per_task >= 0.0
+
+    def test_max_matches_early_stop(self, small_er, sched_tt_e):
+        full = mine(small_er, sched_tt_e)
+        capped = mine(small_er, sched_tt_e, max_matches=5)
+        assert capped.count == 5
+        assert capped.stats.total_tasks < full.stats.total_tasks
+
+
+class TestMetamorphic:
+    def test_isolated_vertices_do_not_change_counts(self, small_er, sched_4cl):
+        padded = from_edges(small_er.to_edge_list(), num_vertices=50)
+        assert count_matches(padded, sched_4cl) == count_matches(small_er, sched_4cl)
+
+    def test_relabel_invariance(self, small_er, sched_tc):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(small_er.num_vertices)
+        edges = [(int(perm[u]), int(perm[v])) for u, v in small_er.edges()]
+        shuffled = from_edges(edges, num_vertices=small_er.num_vertices)
+        assert count_matches(shuffled, sched_tc) == count_matches(small_er, sched_tc)
+
+    def test_order_choice_does_not_change_count(self, small_er):
+        from repro.patterns import tailed_triangle, valid_orders
+
+        pattern = tailed_triangle()
+        counts = set()
+        for order in list(valid_orders(pattern))[:6]:
+            sched = make_schedule(pattern, order)
+            counts.add(count_matches(small_er, sched))
+        assert len(counts) == 1

@@ -1,0 +1,61 @@
+"""Unit tests for the pattern-oblivious brute-force oracle itself."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.mining import count_injective_maps, count_unique_subgraphs
+from repro.patterns import clique, diamond, four_cycle, tailed_triangle, triangle
+
+
+@pytest.fixture(scope="module")
+def k4():
+    return from_edges([(u, v) for u in range(4) for v in range(u + 1, 4)])
+
+
+class TestInjectiveMaps:
+    def test_triangle_in_k4(self, k4):
+        # 4 triangles x |Aut| = 6 maps each.
+        assert count_injective_maps(k4, triangle()) == 24
+
+    def test_four_cycle_in_k4_edge_induced(self, k4):
+        # 3 vertex-orderings of C4 on 4 vertices x 8 automorphisms... =
+        # every 4-cycle subgraph; K4 contains 3 distinct C4 subgraphs.
+        assert count_injective_maps(k4, four_cycle()) == 24
+
+    def test_four_cycle_in_k4_vertex_induced(self, k4):
+        # K4's induced 4-vertex subgraph is K4, never C4.
+        assert count_injective_maps(k4, four_cycle(), induced=True) == 0
+
+    def test_path_graph(self):
+        path = from_edges([(0, 1), (1, 2)])
+        assert count_injective_maps(path, triangle()) == 0
+
+
+class TestUniqueSubgraphs:
+    def test_triangles_in_k4(self, k4):
+        assert count_unique_subgraphs(k4, triangle()) == 4
+
+    def test_cliques_in_k5(self):
+        k5 = from_edges([(u, v) for u in range(5) for v in range(u + 1, 5)])
+        assert count_unique_subgraphs(k5, clique(4)) == 5
+        assert count_unique_subgraphs(k5, clique(5)) == 1
+
+    def test_diamond_in_k4(self, k4):
+        # Every edge choice to delete... K4 contains 6 diamonds (pick the
+        # non-adjacent pair = pick 1 of 6 edges missing... actually pick
+        # the pair of degree-2 vertices: C(4,2) = 6).
+        assert count_unique_subgraphs(k4, diamond()) == 6
+
+    def test_tailed_triangle_in_fig1(self, tiny_graph):
+        # Cross-check with the schedule-driven miner result.
+        from repro.mining import count_matches
+        from repro.patterns import benchmark_schedule
+
+        expected = count_unique_subgraphs(tiny_graph, tailed_triangle())
+        assert count_matches(tiny_graph, benchmark_schedule("tt_e")) == expected
+
+    def test_induced_leq_edge_induced(self, small_er):
+        for pattern in (tailed_triangle(), diamond(), four_cycle()):
+            vi = count_unique_subgraphs(small_er, pattern, induced=True)
+            ei = count_unique_subgraphs(small_er, pattern)
+            assert vi <= ei

@@ -1,0 +1,115 @@
+"""Unit tests for patterns and their named constructors."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns import (
+    PAPER_PATTERNS,
+    Pattern,
+    clique,
+    cycle,
+    diamond,
+    four_cycle,
+    get_pattern,
+    house,
+    star,
+    tailed_triangle,
+    triangle,
+)
+
+
+class TestConstruction:
+    def test_edges_canonicalized(self):
+        p = Pattern(3, [(1, 0), (0, 1), (1, 2), (0, 2)])
+        assert p.num_edges == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(3, [(0, 0), (0, 1), (1, 2)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(2, [(0, 3)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(4, [(0, 1), (2, 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(0, [])
+
+    def test_single_vertex_ok(self):
+        assert Pattern(1, []).num_vertices == 1
+
+    def test_equality_and_hash(self):
+        assert triangle() == clique(3)
+        assert hash(triangle()) == hash(clique(3))
+        assert triangle() != four_cycle()
+
+
+class TestAccessors:
+    def test_adjacency(self):
+        p = tailed_triangle()
+        assert p.adjacency(2) == frozenset({0, 1, 3})
+        assert p.adjacency(3) == frozenset({2})
+
+    def test_degree(self):
+        p = diamond()
+        assert sorted(p.degree(v) for v in range(4)) == [2, 2, 3, 3]
+
+    def test_has_edge(self):
+        p = four_cycle()
+        assert p.has_edge(0, 1) and p.has_edge(3, 0)
+        assert not p.has_edge(0, 2)
+
+    def test_non_edges(self):
+        assert four_cycle().non_edges() == [(0, 2), (1, 3)]
+        assert clique(4).non_edges() == []
+
+    def test_relabel(self):
+        p = tailed_triangle().relabel([3, 2, 1, 0])
+        assert p.degree(1) == 3  # old vertex 2 had degree 3
+
+    def test_relabel_bad_mapping(self):
+        with pytest.raises(PatternError):
+            triangle().relabel([0, 0, 1])
+
+
+class TestNamedPatterns:
+    def test_sizes(self):
+        assert triangle().num_vertices == 3
+        assert tailed_triangle().num_vertices == 4
+        assert clique(5).num_vertices == 5
+        assert diamond().num_vertices == 4
+        assert four_cycle().num_vertices == 4
+        assert house().num_vertices == 5
+
+    def test_edge_counts(self):
+        assert triangle().num_edges == 3
+        assert tailed_triangle().num_edges == 4
+        assert diamond().num_edges == 5
+        assert clique(5).num_edges == 10
+        assert four_cycle().num_edges == 4
+
+    def test_star(self):
+        p = star(4)
+        assert p.num_vertices == 5
+        assert p.degree(0) == 4
+
+    def test_bad_sizes(self):
+        with pytest.raises(PatternError):
+            clique(1)
+        with pytest.raises(PatternError):
+            cycle(2)
+        with pytest.raises(PatternError):
+            star(0)
+
+    def test_paper_registry(self):
+        assert set(PAPER_PATTERNS) == {"tc", "tt", "4cl", "5cl", "dia", "4cyc"}
+        for code, pattern in PAPER_PATTERNS.items():
+            assert get_pattern(code) == pattern
+
+    def test_get_pattern_unknown(self):
+        with pytest.raises(PatternError):
+            get_pattern("hexagon")

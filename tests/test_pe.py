@@ -1,0 +1,100 @@
+"""Unit tests for PE internals (pipeline, rounds, windows, fetch lines)."""
+
+import pytest
+
+from repro.graph import from_edges
+from repro.mining import count_matches
+from repro.patterns import benchmark_schedule
+from repro.sim import SimConfig, simulate
+from repro.sim.accelerator import Accelerator
+from repro.core.task import SimTask
+
+
+def build(graph, code="tc", **cfg):
+    accel = Accelerator(graph, benchmark_schedule(code), SimConfig(num_pes=1, **cfg), "shogun")
+    return accel, accel.pes[0]
+
+
+@pytest.fixture()
+def star_graph():
+    """A hub of degree 40 plus a clique among the first few leaves."""
+    edges = [(0, i) for i in range(1, 41)]
+    edges += [(i, j) for i in range(1, 6) for j in range(i + 1, 6)]
+    return from_edges(edges)
+
+
+class TestUnits:
+    def test_unit_serializes_one_per_cycle(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        a = pe._enter_unit("decode", 10.0)
+        b = pe._enter_unit("decode", 10.0)
+        c = pe._enter_unit("decode", 10.5)
+        assert (a, b, c) == (10.0, 11.0, 12.0)
+
+    def test_units_independent(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        pe._enter_unit("decode", 5.0)
+        assert pe._enter_unit("spawn", 5.0) == 5.0
+
+
+class TestVertexFetchLine:
+    def test_line_from_parent_buffer(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        parent = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
+        parent.set_address = 64 * 100
+        child = SimTask(
+            depth=1, vertex=1, embedding=(3, 1), parent=parent, tree=1, child_index=5
+        )
+        assert pe._vertex_fetch_line(child) == 100  # 5*4 bytes within line 0... offset 20 -> line 100
+
+    def test_line_advances_with_index(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        parent = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
+        parent.set_address = 0
+        near = SimTask(depth=1, vertex=1, embedding=(3, 1), parent=parent, tree=1, child_index=0)
+        far = SimTask(depth=1, vertex=2, embedding=(3, 2), parent=parent, tree=1, child_index=20)
+        assert pe._vertex_fetch_line(near) == 0
+        assert pe._vertex_fetch_line(far) == 1
+
+    def test_no_parent_no_fetch(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        root = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
+        assert pe._vertex_fetch_line(root) is None
+
+
+class TestRounds:
+    def test_large_degree_vertex_completes(self, star_graph):
+        """Working sets beyond the SPM share run in multiple rounds (§3.1)."""
+        sched = benchmark_schedule("tc")
+        expected = count_matches(star_graph, sched)
+        tiny_spm = SimConfig(num_pes=1, spm_kb=1, l1_kb=2, l2_kb=32)
+        m = simulate(star_graph, sched, policy="shogun", config=tiny_spm)
+        assert m.matches == expected
+
+    def test_small_spm_slower(self, star_graph):
+        sched = benchmark_schedule("tc")
+        fast = simulate(star_graph, sched, policy="shogun", config=SimConfig(num_pes=1, spm_kb=64))
+        slow = simulate(star_graph, sched, policy="shogun", config=SimConfig(num_pes=1, spm_kb=1))
+        assert slow.cycles >= fast.cycles
+
+
+class TestIUWindow:
+    def test_recent_utilization_rolls(self, small_er):
+        accel, pe = build(small_er, code="4cl", monitor_epoch_cycles=64)
+        accel.run()
+        assert 0.0 <= pe.recent_iu_utilization() <= 1.0
+
+    def test_recent_utilization_initial(self, tiny_graph):
+        _, pe = build(tiny_graph)
+        assert pe.recent_iu_utilization() == 0.0
+
+
+class TestAncestorSets:
+    def test_sets_aligned_by_feeding_depth(self, small_er):
+        _, pe = build(small_er, code="4cl")
+        root = SimTask(depth=0, vertex=20, embedding=(20,), parent=None, tree=1)
+        root.expansion = pe.context.expand((20,))
+        child = SimTask(depth=1, vertex=5, embedding=(20, 5), parent=root, tree=1)
+        sets = pe._ancestor_sets(child)
+        assert sets[1] is root.expansion.candidates
+        assert sets[2] is None

@@ -1,0 +1,110 @@
+"""Stress the task tree under resource starvation configurations.
+
+Tiny bunch/token/L1 budgets force every contention path — spawn waits,
+token stalls, head-of-line token scans, extension chains — while the
+count-exactness invariant must keep holding.
+"""
+
+import pytest
+
+from repro.graph import erdos_renyi_gnm, powerlaw_configuration
+from repro.mining import count_matches
+from repro.patterns import benchmark_schedule
+from repro.sim import SimConfig, simulate
+from repro.sim.accelerator import Accelerator
+
+STARVED = dict(
+    num_pes=1,
+    bunches_per_depth=1,
+    root_bunches=1,
+    bunch_entries=2,
+    execution_width=2,
+    tokens_per_depth=1,
+    l1_kb=1,
+    l2_kb=16,
+    spm_kb=1,
+)
+
+
+class TestStarvedTaskTree:
+    @pytest.mark.parametrize("code", ["tc", "4cl", "tt_e", "dia_v", "4cyc_e"])
+    def test_counts_exact_under_starvation(self, small_er, code):
+        sched = benchmark_schedule(code)
+        expected = count_matches(small_er, sched)
+        metrics = simulate(small_er, sched, policy="shogun", config=SimConfig(**STARVED))
+        assert metrics.matches == expected
+
+    def test_spawn_waits_observed(self, small_er, sched_4cl):
+        # More tokens than bunches: several Resting parents per depth
+        # compete for the single child bunch and must queue.
+        cfg = dict(STARVED, tokens_per_depth=4, execution_width=4)
+        accel = Accelerator(small_er, sched_4cl, SimConfig(**cfg), "shogun")
+        accel.run()
+        tree = accel.pes[0].policy.tree
+        assert tree.spawn_waits > 0
+
+    def test_token_stalls_observed(self, small_er, sched_4cl):
+        accel = Accelerator(small_er, sched_4cl, SimConfig(**STARVED), "shogun")
+        accel.run()
+        tree = accel.pes[0].policy.tree
+        assert tree.token_stalls > 0  # one token per depth must contend
+
+    def test_skewed_graph_under_starvation(self, skewed_graph):
+        sched = benchmark_schedule("tt_e")
+        expected = count_matches(skewed_graph, sched)
+        metrics = simulate(
+            skewed_graph, sched, policy="shogun", config=SimConfig(**STARVED)
+        )
+        assert metrics.matches == expected
+
+    def test_width_exceeds_bunch_entries(self, small_er, sched_4cl):
+        # Execution width larger than the bunch size: non-sibling mixing
+        # is mandatory to fill the PE.
+        cfg = SimConfig(
+            num_pes=1, bunch_entries=2, execution_width=6, tokens_per_depth=6
+        )
+        expected = count_matches(small_er, sched_4cl)
+        assert simulate(small_er, sched_4cl, policy="shogun", config=cfg).matches == expected
+
+    def test_bunches_exceed_width(self, small_er, sched_4cl):
+        cfg = SimConfig(
+            num_pes=1, bunches_per_depth=8, bunch_entries=2,
+            execution_width=2, tokens_per_depth=2,
+        )
+        expected = count_matches(small_er, sched_4cl)
+        assert simulate(small_er, sched_4cl, policy="shogun", config=cfg).matches == expected
+
+
+class TestStarvedOptimizations:
+    def test_splitting_under_starvation(self):
+        graph = powerlaw_configuration(60, 5.0, exponent=1.8, seed=21)
+        sched = benchmark_schedule("4cl")
+        expected = count_matches(graph, sched)
+        cfg = SimConfig(
+            num_pes=6, enable_splitting=True, lb_check_interval=50,
+            bunches_per_depth=1, bunch_entries=2, execution_width=2,
+            tokens_per_depth=2, l1_kb=1, l2_kb=16,
+        )
+        assert simulate(graph, sched, policy="shogun", config=cfg).matches == expected
+
+    def test_merging_under_starvation(self):
+        graph = erdos_renyi_gnm(50, 150, seed=13)
+        sched = benchmark_schedule("tc")
+        expected = count_matches(graph, sched)
+        cfg = SimConfig(
+            num_pes=2, enable_merging=True, root_bunches=2,
+            bunches_per_depth=1, bunch_entries=2, execution_width=2,
+            tokens_per_depth=2, l1_kb=1, l2_kb=16,
+        )
+        assert simulate(graph, sched, policy="shogun", config=cfg).matches == expected
+
+
+class TestMemoryPortTiming:
+    def test_fetch_port_serialization(self):
+        from repro.sim import MemorySystem
+
+        mem = MemorySystem(SimConfig(num_pes=1, fetch_ports=2))
+        mem.install_intermediate(0, list(range(8)))
+        done = mem.fetch_intermediate(0, list(range(8)), now=0.0)
+        # 8 hits over 2 ports: last line issues at cycle 3, + hit latency.
+        assert done == pytest.approx(3 + mem.config.l1_hit_cycles)

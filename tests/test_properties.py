@@ -1,0 +1,81 @@
+"""Property-based end-to-end invariants across the whole stack.
+
+The central invariant (§2.1): *every* scheduling policy must find every
+match exactly once, on any graph, for any benchmark schedule.  Hypothesis
+generates random small graphs; each draw runs the naive oracle, the
+reference miner and a simulated policy, and all three must agree.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import from_edges
+from repro.mining import count_matches, count_unique_subgraphs
+from repro.patterns import benchmark_schedule, get_pattern
+from repro.sim import SimConfig, simulate
+
+
+def graphs(max_n=18, max_m=40):
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(3, max_n))
+        edges = draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_m,
+            )
+        )
+        return from_edges(edges, num_vertices=n)
+
+    return build()
+
+
+def _base(code):
+    return code[:-2] if code.endswith(("_e", "_v")) else code
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graphs(), code=st.sampled_from(["tc", "4cl", "tt_e", "dia_v", "4cyc_e"]))
+def test_miner_matches_oracle(graph, code):
+    sched = benchmark_schedule(code)
+    expected = count_unique_subgraphs(graph, get_pattern(_base(code)), induced=sched.induced)
+    assert count_matches(graph, sched) == expected
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    graph=graphs(max_n=14, max_m=30),
+    code=st.sampled_from(["tc", "4cl", "4cyc_v"]),
+    policy=st.sampled_from(["shogun", "fingers", "parallel-dfs"]),
+)
+def test_simulated_policies_match_oracle(graph, code, policy):
+    sched = benchmark_schedule(code)
+    expected = count_unique_subgraphs(graph, get_pattern(_base(code)), induced=sched.induced)
+    config = SimConfig(num_pes=2, l1_kb=1, l2_kb=16)
+    metrics = simulate(graph, sched, policy=policy, config=config)
+    assert metrics.matches == expected
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graphs(max_n=14, max_m=30))
+def test_shogun_optimizations_preserve_counts(graph):
+    """Splitting + merging are performance features: counts never change."""
+    sched = benchmark_schedule("4cl")
+    base = SimConfig(num_pes=3, l1_kb=1, l2_kb=16)
+    fancy = base.replace(enable_splitting=True, enable_merging=True, lb_check_interval=50)
+    plain = simulate(graph, sched, policy="shogun", config=base)
+    optimized = simulate(graph, sched, policy="shogun", config=fancy)
+    assert plain.matches == optimized.matches
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graphs(max_n=16), width=st.integers(1, 6))
+def test_width_never_changes_counts(graph, width):
+    sched = benchmark_schedule("tc")
+    config = SimConfig(
+        num_pes=2, execution_width=width, bunch_entries=width, tokens_per_depth=width,
+        l1_kb=1, l2_kb=16,
+    )
+    expected = count_matches(graph, sched)
+    assert simulate(graph, sched, policy="shogun", config=config).matches == expected

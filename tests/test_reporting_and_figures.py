@@ -1,0 +1,73 @@
+"""Unit tests for reporting helpers and figure plumbing."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult, _width_config
+from repro.experiments.reporting import _fmt, percent, render_table
+from repro.experiments.tables import TableResult
+
+
+class TestFormatting:
+    def test_fmt_large_float(self):
+        assert _fmt(1234.5) == "1234"
+
+    def test_fmt_medium_float(self):
+        assert _fmt(12.345) == "12.35"
+
+    def test_fmt_small_float(self):
+        assert _fmt(0.1234) == "0.123"
+
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_non_float(self):
+        assert _fmt("abc") == "abc"
+        assert _fmt(7) == "7"
+
+    def test_percent_rounding(self):
+        assert percent(1.005) == "+0%"
+        assert percent(2.0) == "+100%"
+
+
+class TestRenderTable:
+    def test_column_widths(self):
+        text = render_table(["x", "longheader"], [["value", 1]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_no_title(self):
+        text = render_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestWidthConfig:
+    def test_ties_width_bunches_tokens(self):
+        cfg = _width_config(4)
+        assert cfg.execution_width == 4
+        assert cfg.bunch_entries == 4
+        assert cfg.tokens_per_depth == 4
+
+    def test_overrides_pass_through(self):
+        cfg = _width_config(2, l1_kb=32)
+        assert cfg.l1_kb == 32
+
+
+class TestResultContainers:
+    def test_figure_result_render(self):
+        result = FigureResult(
+            name="F", headers=["a"], rows=[[1]], summary="note"
+        )
+        out = result.render()
+        assert out.startswith("F")
+        assert out.endswith("note")
+
+    def test_table_result_render_notes(self):
+        result = TableResult(name="T", headers=["a"], rows=[[1]], notes="n")
+        assert result.render().endswith("n")
+
+    def test_raw_defaults(self):
+        assert FigureResult(name="F", headers=[], rows=[]).raw == {}

@@ -1,0 +1,147 @@
+"""Unit + property tests for matching schedules and restrictions."""
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.patterns import (
+    MatchingSchedule,
+    Pattern,
+    automorphisms,
+    clique,
+    depth_permutations,
+    diamond,
+    four_cycle,
+    generate_restrictions,
+    make_schedule,
+    tailed_triangle,
+    triangle,
+)
+
+
+class TestRestrictionGeneration:
+    def test_triangle_chain(self):
+        r = generate_restrictions(triangle(), (0, 1, 2))
+        assert r == ((0, 1), (1, 2))  # emb[1]<emb[0], emb[2]<emb[1]
+
+    def test_clique4_transitively_reduced(self):
+        r = generate_restrictions(clique(4), (0, 1, 2, 3))
+        assert r == ((0, 1), (1, 2), (2, 3))
+
+    def test_tailed_triangle_single(self):
+        # Only the swap of the two non-tail triangle vertices survives.
+        r = generate_restrictions(tailed_triangle(), (0, 1, 2, 3))
+        assert r == ((0, 1),)
+
+    def test_asymmetric_pattern_no_restrictions(self):
+        # Asymmetric tree (branches of distinct lengths): |Aut| = 1, so
+        # there is nothing to break.
+        p = Pattern(7, [(0, 1), (1, 2), (2, 3), (2, 4), (4, 5), (5, 6)])
+        assert len(automorphisms(p)) == 1
+        assert generate_restrictions(p, (2, 1, 0, 3, 4, 5, 6)) == ()
+
+    def test_pairs_point_upward(self):
+        for pattern in (clique(4), diamond(), four_cycle()):
+            for order in permutations(range(4)):
+                try:
+                    r = generate_restrictions(pattern, order)
+                except ScheduleError:
+                    continue
+                assert all(i < j for i, j in r)
+
+
+class TestDepthPermutations:
+    def test_identity_present(self):
+        taus = depth_permutations(triangle(), (0, 1, 2))
+        assert (0, 1, 2) in taus
+
+    def test_count_equals_group_order(self):
+        assert len(depth_permutations(clique(4), (3, 1, 0, 2))) == 24
+
+
+class TestScheduleValidation:
+    def test_not_a_permutation(self):
+        with pytest.raises(ScheduleError):
+            MatchingSchedule(pattern=triangle(), order=(0, 0, 1))
+
+    def test_disconnected_order(self):
+        # Matching the tail (3) right after the opposite corner (0) of tt
+        # is invalid: 3 connects only to 2.
+        with pytest.raises(ScheduleError):
+            MatchingSchedule(pattern=tailed_triangle(), order=(0, 3, 1, 2))
+
+    def test_bad_restriction_pair(self):
+        with pytest.raises(ScheduleError):
+            MatchingSchedule(pattern=triangle(), order=(0, 1, 2), restrictions=((2, 1),))
+
+    def test_connected_sets(self):
+        s = make_schedule(tailed_triangle(), (2, 0, 1, 3))
+        assert s.connected[1] == (0,)
+        assert s.connected[3] == (0,)  # tail attaches to the first-matched vertex
+
+    def test_disconnected_sets(self):
+        s = make_schedule(four_cycle(), (0, 1, 2, 3), induced=True)
+        assert s.disconnected[2] == (0,)
+
+    def test_depth_properties(self):
+        s = make_schedule(clique(4), (0, 1, 2, 3))
+        assert s.depth == 4
+        assert s.max_depth == 3
+
+    def test_describe_mentions_mode(self):
+        s_e = make_schedule(four_cycle(), (0, 1, 2, 3))
+        s_v = make_schedule(four_cycle(), (0, 1, 2, 3), induced=True)
+        assert "edge-induced" in s_e.describe()
+        assert "vertex-induced" in s_v.describe()
+
+
+class TestBounds:
+    def test_bound_for(self):
+        s = make_schedule(clique(3), (0, 1, 2))
+        # Restrictions: emb[1]<emb[0], emb[2]<emb[1].
+        assert s.bound_for((9,), 1) == 9
+        assert s.bound_for((9, 4), 2) == 4
+
+    def test_no_bound(self):
+        s = make_schedule(tailed_triangle(), (0, 1, 2, 3))
+        assert s.bound_for((9, 4, 6), 3) is None
+
+    def test_min_of_multiple(self):
+        s = MatchingSchedule(
+            pattern=clique(3),
+            order=(0, 1, 2),
+            restrictions=((0, 2), (1, 2)),
+        )
+        assert s.bound_for((5, 9), 2) == 5
+        assert s.bound_for((9, 5), 2) == 5
+
+
+def _restrictions_hold(embedding, restrictions):
+    return all(embedding[j] < embedding[i] for i, j in restrictions)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_restrictions_select_exactly_lex_max(data):
+    """Property: an embedding satisfies the restrictions iff it is the
+    lexicographically largest member of its automorphism orbit — the
+    exactness argument behind uniqueness (§2.1)."""
+    pattern = data.draw(
+        st.sampled_from([triangle(), clique(4), diamond(), four_cycle(), tailed_triangle()])
+    )
+    k = pattern.num_vertices
+    orders = [o for o in permutations(range(k))
+              if all(any(pattern.has_edge(o[e], o[d]) for e in range(d)) for d in range(1, k))]
+    order = data.draw(st.sampled_from(orders))
+    restrictions = generate_restrictions(pattern, order)
+    values = data.draw(
+        st.lists(st.integers(0, 50), min_size=k, max_size=k, unique=True)
+    )
+    embedding = tuple(values)
+    taus = depth_permutations(pattern, order)
+    orbit = [tuple(embedding[t[i]] for i in range(k)) for t in taus]
+    is_lex_max = embedding == max(orbit)
+    assert _restrictions_hold(embedding, restrictions) == is_lex_max

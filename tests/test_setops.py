@@ -1,0 +1,117 @@
+"""Unit + property tests for sorted-set operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import (
+    as_sorted_array,
+    intersect,
+    intersect_reference,
+    merge_cost,
+    segment_count,
+    subtract,
+    subtract_reference,
+    truncate_below,
+)
+
+sorted_sets = st.lists(st.integers(0, 200), max_size=60).map(
+    lambda xs: np.array(sorted(set(xs)), dtype=np.int64)
+)
+
+
+class TestBasics:
+    def test_intersect(self):
+        a = as_sorted_array([1, 3, 5, 7])
+        b = as_sorted_array([3, 4, 5, 6])
+        assert list(intersect(a, b)) == [3, 5]
+
+    def test_intersect_empty(self):
+        a = as_sorted_array([1, 2])
+        assert len(intersect(a, as_sorted_array([]))) == 0
+        assert len(intersect(as_sorted_array([]), a)) == 0
+
+    def test_subtract(self):
+        a = as_sorted_array([1, 3, 5, 7])
+        b = as_sorted_array([3, 4, 5])
+        assert list(subtract(a, b)) == [1, 7]
+
+    def test_subtract_empty_rhs(self):
+        a = as_sorted_array([1, 2])
+        assert list(subtract(a, as_sorted_array([]))) == [1, 2]
+
+    def test_as_sorted_array_dedups(self):
+        assert list(as_sorted_array([5, 1, 5, 3])) == [1, 3, 5]
+
+    def test_merge_cost(self):
+        assert merge_cost(10, 5) == 15
+        assert merge_cost(0, 0) == 0
+
+
+class TestTruncateBelow:
+    def test_cuts_at_bound(self):
+        a = as_sorted_array([1, 4, 6, 9])
+        assert list(truncate_below(a, 6)) == [1, 4]
+
+    def test_bound_excluded(self):
+        a = as_sorted_array([1, 4, 6])
+        assert list(truncate_below(a, 4)) == [1]
+
+    def test_none_keeps_all(self):
+        a = as_sorted_array([1, 4])
+        assert truncate_below(a, None) is a
+
+    def test_bound_above_all(self):
+        a = as_sorted_array([1, 4])
+        assert list(truncate_below(a, 100)) == [1, 4]
+
+    def test_bound_below_all(self):
+        a = as_sorted_array([5, 6])
+        assert len(truncate_below(a, 2)) == 0
+
+
+class TestSegmentCount:
+    def test_exact_multiple(self):
+        assert segment_count(32, 16) == 2
+
+    def test_rounds_up(self):
+        assert segment_count(33, 16) == 3
+
+    def test_zero(self):
+        assert segment_count(0, 16) == 0
+
+    def test_bad_segment_size(self):
+        with pytest.raises(ValueError):
+            segment_count(10, 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=sorted_sets, b=sorted_sets)
+def test_intersect_matches_reference(a, b):
+    assert list(intersect(a, b)) == intersect_reference(list(a), list(b))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=sorted_sets, b=sorted_sets)
+def test_subtract_matches_reference(a, b):
+    assert list(subtract(a, b)) == subtract_reference(list(a), list(b))
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=sorted_sets, b=sorted_sets)
+def test_set_algebra(a, b):
+    """Intersection + subtraction partition the left operand."""
+    inter = set(int(x) for x in intersect(a, b))
+    sub = set(int(x) for x in subtract(a, b))
+    assert inter | sub == set(int(x) for x in a)
+    assert inter & sub == set()
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=sorted_sets, bound=st.integers(-5, 220))
+def test_truncate_below_property(a, bound):
+    kept = truncate_below(a, bound)
+    assert all(int(x) < bound for x in kept)
+    dropped = set(int(x) for x in a) - set(int(x) for x in kept)
+    assert all(x >= bound for x in dropped)

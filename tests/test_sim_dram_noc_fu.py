@@ -1,0 +1,123 @@
+"""Unit tests for the DRAM, NoC and IU-pool resource models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import DRAMModel, IUPool, NoC
+
+
+class TestDRAM:
+    def test_single_request_latency(self):
+        dram = DRAMModel(channels=2, latency_cycles=100, service_cycles=4)
+        assert dram.request(0, ready_time=10.0) == pytest.approx(110.0)
+
+    def test_same_channel_serializes(self):
+        dram = DRAMModel(channels=2, latency_cycles=100, service_cycles=4)
+        first = dram.request(0, 0.0)
+        second = dram.request(2, 0.0)  # line 2 -> channel 0 as well
+        assert second == first + 4
+
+    def test_different_channels_parallel(self):
+        dram = DRAMModel(channels=2, latency_cycles=100, service_cycles=4)
+        a = dram.request(0, 0.0)
+        b = dram.request(1, 0.0)
+        assert a == b == pytest.approx(100.0)
+
+    def test_channel_mapping(self):
+        dram = DRAMModel(channels=4, latency_cycles=1, service_cycles=1)
+        assert dram.channel_of(7) == 3
+        assert dram.channel_of(8) == 0
+
+    def test_utilization(self):
+        dram = DRAMModel(channels=2, latency_cycles=10, service_cycles=5)
+        dram.request(0, 0.0)
+        dram.request(1, 0.0)
+        assert dram.utilization(10.0) == pytest.approx(0.5)
+        assert dram.utilization(0.0) == 0.0
+
+    def test_earliest_free(self):
+        dram = DRAMModel(channels=2, latency_cycles=10, service_cycles=5)
+        dram.request(0, 0.0)
+        assert dram.earliest_free() == 0.0  # channel 1 untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DRAMModel(0, 10, 1)
+        with pytest.raises(ConfigError):
+            DRAMModel(1, 10, 0)
+
+
+class TestNoC:
+    def test_hop(self):
+        assert NoC(6).memory_hop() == 6.0
+
+    def test_transfer_latency(self):
+        noc = NoC(6, link_line_cycles=1.0)
+        assert noc.transfer(10, ready_time=0.0) == pytest.approx(16.0)
+
+    def test_transfers_serialize(self):
+        noc = NoC(6)
+        first = noc.transfer(10, 0.0)
+        second = noc.transfer(10, 0.0)
+        assert second == first + 10
+
+    def test_traffic_accounting(self):
+        noc = NoC(6)
+        noc.transfer(3, 0.0)
+        noc.transfer(4, 0.0)
+        assert noc.messages == 2
+        assert noc.lines_transferred == 7
+
+    def test_zero_line_message(self):
+        noc = NoC(6)
+        assert noc.transfer(0, 0.0) == pytest.approx(7.0)  # min occupancy 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            NoC(6).transfer(-1, 0.0)
+
+
+class TestIUPool:
+    def test_zero_segments_instant(self):
+        pool = IUPool(4, segment_cycles=8, num_dividers=2)
+        assert pool.submit(0, 5.0) == 5.0
+
+    def test_parallel_up_to_servers(self):
+        pool = IUPool(4, segment_cycles=8, num_dividers=1000)
+        done = pool.submit(4, 0.0)
+        assert done == pytest.approx(8.0, abs=0.1)
+
+    def test_excess_segments_queue(self):
+        pool = IUPool(2, segment_cycles=8, num_dividers=1000)
+        done = pool.submit(4, 0.0)
+        assert done == pytest.approx(16.0, abs=0.1)
+
+    def test_divider_formation_delay(self):
+        pool = IUPool(4, segment_cycles=8, num_dividers=2)
+        done = pool.submit(4, 0.0)
+        # 4 segments / 2 dividers = 2 cycles formation, then 8 compute.
+        assert done == pytest.approx(10.0)
+
+    def test_cross_task_contention(self):
+        pool = IUPool(1, segment_cycles=10, num_dividers=1000)
+        a = pool.submit(1, 0.0)
+        b = pool.submit(1, 0.0)
+        assert b == a + 10
+
+    def test_busy_accounting(self):
+        pool = IUPool(4, segment_cycles=8, num_dividers=4)
+        pool.submit(6, 0.0)
+        assert pool.busy_cycles == 48
+        assert pool.segments_processed == 6
+
+    def test_utilization_bounds(self):
+        pool = IUPool(2, segment_cycles=4, num_dividers=2)
+        pool.submit(10, 0.0)
+        assert 0.0 < pool.utilization(100.0) <= 1.0
+        assert pool.utilization(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            IUPool(0, 4, 2)
+        with pytest.raises(ConfigError):
+            IUPool(2, 0, 2)

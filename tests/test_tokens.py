@@ -1,0 +1,125 @@
+"""Unit tests for address tokens and the set-buffer address map."""
+
+import pytest
+
+from repro.core import SetBufferMap, TokenPool
+from repro.errors import SimulationError
+
+
+class TestTokenPool:
+    def test_acquire_release_cycle(self):
+        pool = TokenPool(2)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert {a, b} == {0, 1}
+        assert pool.acquire() is None
+        pool.release(a)
+        assert pool.acquire() == a
+
+    def test_available_held(self):
+        pool = TokenPool(3)
+        pool.acquire()
+        assert pool.available == 2
+        assert pool.held == 1
+
+    def test_double_release_rejected(self):
+        pool = TokenPool(2)
+        t = pool.acquire()
+        pool.release(t)
+        with pytest.raises(SimulationError):
+            pool.release(t)
+
+    def test_release_never_acquired(self):
+        pool = TokenPool(2)
+        with pytest.raises(SimulationError):
+            pool.release(0)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            TokenPool(0)
+
+    def test_grow(self):
+        pool = TokenPool(1)
+        pool.acquire()
+        pool.resize(3)
+        assert pool.available == 2
+
+    def test_shrink_drops_free_tokens(self):
+        pool = TokenPool(4)
+        pool.resize(2)
+        assert pool.available == 2
+        assert pool.acquire() is not None
+        assert pool.acquire() is not None
+        assert pool.acquire() is None
+
+    def test_shrink_retires_held_lazily(self):
+        pool = TokenPool(3)
+        tokens = [pool.acquire() for _ in range(3)]
+        pool.resize(1)
+        assert pool.available == 0
+        for t in tokens:
+            pool.release(t)
+        # Exactly one unit of capacity survives the shrink.
+        assert pool.available == 1
+        assert pool.acquire() is not None
+        assert pool.acquire() is None
+
+    def test_grow_cancels_pending_shrink(self):
+        pool = TokenPool(2)
+        a = pool.acquire()
+        b = pool.acquire()
+        pool.resize(1)   # both held: one marked retired
+        pool.resize(2)   # cancel the retirement instead of minting
+        pool.release(a)
+        pool.release(b)
+        assert pool.available == 2
+
+    def test_shrink_to_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            TokenPool(2).resize(0)
+
+
+class TestSetBufferMap:
+    def test_distinct_addresses(self):
+        bm = SetBufferMap(0, max_depth=4, buffers_per_depth=4, buffer_lines=8)
+        seen = set()
+        for depth in range(5):
+            for idx in range(16):
+                addr = bm.address(depth, idx)
+                assert addr not in seen
+                seen.add(addr)
+
+    def test_line_aligned(self):
+        bm = SetBufferMap(0, 4, 4, 8, line_bytes=64)
+        for depth in range(5):
+            assert bm.address(depth, 0) % 64 == 0
+
+    def test_pe_regions_disjoint(self):
+        a = SetBufferMap(0, 4, 4, 8)
+        b = SetBufferMap(1, 4, 4, 8)
+        addrs_a = {a.address(d, i) for d in range(5) for i in range(8)}
+        addrs_b = {b.address(d, i) for d in range(5) for i in range(8)}
+        assert addrs_a.isdisjoint(addrs_b)
+
+    def test_bad_depth(self):
+        bm = SetBufferMap(0, 2, 4, 8)
+        with pytest.raises(SimulationError):
+            bm.address(3, 0)
+        with pytest.raises(SimulationError):
+            bm.address(-1, 0)
+
+    def test_bad_index(self):
+        bm = SetBufferMap(0, 2, 4, 8)
+        with pytest.raises(SimulationError):
+            bm.address(0, -1)
+
+    def test_lines_for_bytes(self):
+        bm = SetBufferMap(0, 2, 4, 8)
+        assert bm.lines_for_bytes(0) == 0
+        assert bm.lines_for_bytes(1) == 1
+        assert bm.lines_for_bytes(64) == 1
+        assert bm.lines_for_bytes(65) == 2
+
+    def test_buffer_reuse_same_address(self):
+        bm = SetBufferMap(0, 2, 4, 8)
+        assert bm.address(1, 2) == bm.address(1, 2)

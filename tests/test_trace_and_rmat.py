@@ -1,0 +1,100 @@
+"""Tests for the trace recorder and the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import rmat
+from repro.graph.stats import degree_skewness
+from repro.mining import count_matches
+from repro.patterns import benchmark_schedule
+from repro.sim import SimConfig, TraceRecorder
+from repro.sim.accelerator import Accelerator
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        assert rmat(6, 4.0, seed=0).num_vertices == 64
+
+    def test_deterministic(self):
+        a, b = rmat(7, 4.0, seed=3), rmat(7, 4.0, seed=3)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_matters(self):
+        a, b = rmat(7, 4.0, seed=3), rmat(7, 4.0, seed=4)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_skewed(self):
+        g = rmat(9, 8.0, seed=1)
+        assert degree_skewness(g) > 1.5
+
+    def test_uniform_quadrants_not_skewed(self):
+        g = rmat(9, 8.0, seed=1, a=0.25, b=0.25, c=0.25)
+        assert degree_skewness(g) < 1.5
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            rmat(0, 4.0)
+        with pytest.raises(GraphError):
+            rmat(5, 4.0, a=0.5, b=0.3, c=0.3)
+
+    def test_usable_for_mining(self):
+        g = rmat(6, 6.0, seed=2)
+        assert count_matches(g, benchmark_schedule("tc")) >= 0
+
+
+class TestTraceRecorder:
+    @pytest.fixture()
+    def traced_run(self, small_er, sched_tc):
+        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=2), "shogun")
+        trace = TraceRecorder.attach(accel)
+        metrics = accel.run()
+        return trace, metrics
+
+    def test_one_span_per_task(self, traced_run):
+        trace, metrics = traced_run
+        assert len(trace.spans) == metrics.tasks_executed
+
+    def test_spans_well_formed(self, traced_run):
+        trace, metrics = traced_run
+        for span in trace.spans:
+            assert span.end >= span.start
+            assert span.pe in (0, 1)
+            assert 0 <= span.depth <= 2
+
+    def test_depth_histogram_matches_matches(self, traced_run):
+        trace, metrics = traced_run
+        hist = trace.depth_histogram()
+        assert hist[2] == metrics.matches
+
+    def test_tracing_does_not_change_timing(self, small_er, sched_tc):
+        cfg = SimConfig(num_pes=2)
+        plain = Accelerator(small_er, sched_tc, cfg, "shogun").run()
+        accel = Accelerator(small_er, sched_tc, cfg, "shogun")
+        TraceRecorder.attach(accel)
+        traced = accel.run()
+        assert traced.cycles == plain.cycles
+
+    def test_concurrency_profile(self, traced_run):
+        trace, _ = traced_run
+        profile = trace.concurrency_profile(0, step=10.0)
+        assert profile and max(profile) >= 1
+
+    def test_mean_duration_by_depth(self, traced_run):
+        trace, _ = traced_run
+        assert trace.mean_duration() > 0
+        assert trace.mean_duration(depth=2) > 0
+        assert trace.mean_duration(depth=99) == 0.0
+
+    def test_summary(self, traced_run):
+        trace, _ = traced_run
+        assert "tasks" in trace.summary()
+        assert TraceRecorder().summary() == "trace: empty"
+
+    def test_csv_roundtrip(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("pe,")
+        assert len(lines) == len(trace.spans) + 1
