@@ -27,6 +27,22 @@ def scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "1.0"))
 
 
+@pytest.fixture(scope="session", autouse=True)
+def persistent_cell_cache():
+    """Route every run_cell through the on-disk orchestrator cache.
+
+    The first benchmark session pays the simulations and fills
+    ``.repro-cache/``; repeat sessions (and ``repro experiment``
+    invocations sharing the directory) replay them near-instantly.
+    Set ``REPRO_CACHE=0`` to opt out.
+    """
+    from repro.orchestrator import attach_persistent_cache
+
+    detach = attach_persistent_cache()
+    yield
+    detach()
+
+
 @pytest.fixture(scope="session")
 def full_scale(scale) -> bool:
     """Whether the paper's shape claims are expected to manifest.

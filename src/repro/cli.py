@@ -6,7 +6,14 @@ Usage (also via ``python -m repro``)::
     repro count --dataset wi --pattern 4cl          # exact software count
     repro count --edge-list g.txt --pattern tc      # your own graph
     repro simulate --dataset wi --pattern 4cl --policy shogun fingers
-    repro experiment figure9 table2 ...             # regenerate artifacts
+    repro experiment figure9 table2 --jobs 4        # regenerate artifacts
+    repro cache info                                # persistent result cache
+    repro cache clear
+
+``repro experiment`` routes through :mod:`repro.orchestrator`: cells
+are deduplicated, satisfied from ``.repro-cache/`` when possible, and
+executed on a process pool with ``--jobs N``.  Every ``--scale``
+defaults to the ``REPRO_SCALE`` environment variable (then 1.0).
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ import sys
 import time
 from typing import List, Optional
 
-from .experiments import eval_config
+from .experiments import default_scale, eval_config
 from .graph import compute_stats, dataset_codes, get_spec, load_dataset, load_edge_list
 from .mining import mine
 from .patterns import BENCHMARK_CODES, benchmark_schedule
@@ -39,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     datasets = sub.add_parser("datasets", help="list the Table-4 dataset stand-ins")
-    datasets.add_argument("--scale", type=float, default=1.0)
+    _add_scale_arg(datasets)
 
     count = sub.add_parser("count", help="exact match counting (software miner)")
     _add_graph_args(count)
@@ -56,29 +63,76 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--splitting", action="store_true", help="enable task-tree splitting")
     sim.add_argument("--merging", action="store_true", help="enable search-tree merging")
 
-    experiment = sub.add_parser("experiment", help="regenerate paper artifacts")
+    experiment = sub.add_parser(
+        "experiment",
+        help="regenerate paper artifacts (parallel, cached — see docs/orchestrator.md)",
+    )
     experiment.add_argument("names", nargs="+", choices=EXPERIMENTS)
-    experiment.add_argument("--scale", type=float, default=1.0)
+    _add_scale_arg(experiment)
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for evaluation cells (1 = in-process)",
+    )
+    experiment.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache for this invocation",
+    )
+    experiment.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    experiment.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds (pool mode only)",
+    )
+    experiment.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts granted to a failed cell (default 1)",
+    )
+    experiment.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear the persistent result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    for action, text in (("info", "show entry count, size and code salt"),
+                         ("clear", "remove every cached result")):
+        action_parser = cache_sub.add_parser(action, help=text)
+        action_parser.add_argument(
+            "--cache-dir", default=None,
+            help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+        )
     return parser
+
+
+def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale factor (default: REPRO_SCALE env var, then 1.0)",
+    )
 
 
 def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", choices=dataset_codes())
     source.add_argument("--edge-list", help="path to a SNAP-style edge list")
-    parser.add_argument("--scale", type=float, default=1.0)
+    _add_scale_arg(parser)
+
+
+def _resolve_scale(args) -> float:
+    return args.scale if args.scale is not None else default_scale()
 
 
 def _load_graph(args):
     if args.dataset:
-        return load_dataset(args.dataset, scale=args.scale)
+        return load_dataset(args.dataset, scale=_resolve_scale(args))
     return load_edge_list(args.edge_list)
 
 
 def cmd_datasets(args) -> int:
     for code in dataset_codes():
         spec = get_spec(code)
-        stats = compute_stats(load_dataset(code, scale=args.scale))
+        stats = compute_stats(load_dataset(code, scale=_resolve_scale(args)))
         print(f"{code}: {spec.paper_name:12s} {stats.describe()}")
         print(f"    {spec.notes}")
     return 0
@@ -126,18 +180,37 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    import inspect
+    from .orchestrator import Orchestrator, ResultCache, cache_enabled
 
-    from . import experiments
-
+    cache = None
+    if not args.no_cache and cache_enabled():
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    orchestrator = Orchestrator(
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=progress,
+    )
+    run = orchestrator.run_experiments(args.names, scale=_resolve_scale(args))
     for name in args.names:
-        fn = getattr(experiments, name)
-        kwargs = {}
-        if "scale" in inspect.signature(fn).parameters:
-            kwargs["scale"] = args.scale
-        result = fn(**kwargs)
-        print(result.render())
-        print()
+        if name in run.rendered:
+            print(run.rendered[name])
+            print()
+    print(run.manifest.render())
+    return 0 if run.ok else 1
+
+
+def cmd_cache(args) -> int:
+    from .orchestrator import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    if args.cache_command == "info":
+        print(cache.info().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
     return 0
 
 
@@ -148,6 +221,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "count": cmd_count,
         "simulate": cmd_simulate,
         "experiment": cmd_experiment,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -35,6 +35,8 @@ class ShogunPolicy(SchedulingPolicy):
         self.tree = TaskTree(pe, self._on_tree_done)
         self.monitor = LocalityMonitor(pe.config)
         self.merger = MergeController(pe, self.tree) if pe.config.enable_merging else None
+        if conservative_override is None:
+            conservative_override = pe.config.conservative_override
         self._conservative_override = conservative_override
         self._next_epoch = float(pe.config.monitor_epoch_cycles)
 

@@ -19,14 +19,26 @@ from .figures import (
 )
 from .reporting import percent, render_table
 from .runner import (
-    DEFAULT_SCALE,
     clear_run_cache,
+    default_scale,
     eval_config,
     get_graph,
     get_schedule,
     reference_count,
     run_cell,
+    set_cell_hook,
+    simulate_cell,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept for the old export; resolves lazily so a
+    # REPRO_SCALE set after import is still honored (see runner).
+    if name == "DEFAULT_SCALE":
+        from . import runner
+
+        return runner.DEFAULT_SCALE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from .tables import TableResult, table1, table2, table3, table4
 from .workloads import EXCLUDED, evaluation_grid, patterns_for
 
@@ -39,6 +51,7 @@ __all__ = [
     "FigureResult",
     "TableResult",
     "clear_run_cache",
+    "default_scale",
     "eval_config",
     "evaluation_grid",
     "figure10",
@@ -57,6 +70,8 @@ __all__ = [
     "reference_count",
     "render_table",
     "run_cell",
+    "set_cell_hook",
+    "simulate_cell",
     "table1",
     "table2",
     "table3",

@@ -19,9 +19,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..sim.accelerator import Accelerator
 from .figures import FigureResult
-from .runner import eval_config, get_graph, get_schedule, run_cell
+from .runner import eval_config, run_cell
 
 
 def ablation_conservative_mode(
@@ -37,17 +36,10 @@ def ablation_conservative_mode(
     the better one).
     """
     rows: List[List[object]] = []
-    config = eval_config(l1_kb=l1_kb)
     for dataset, pattern in cells:
-        graph = get_graph(dataset, scale)
-        schedule = get_schedule(pattern)
-        cycles = {}
         for label, override in (("off", False), ("adaptive", None), ("always", True)):
-            accel = Accelerator(graph, schedule, config, "shogun")
-            for pe in accel.pes:
-                pe.policy._conservative_override = override
-            metrics = accel.run()
-            cycles[label] = metrics.cycles
+            config = eval_config(l1_kb=l1_kb, conservative_override=override)
+            metrics = run_cell(dataset, pattern, "shogun", config=config, scale=scale)
             rows.append(
                 [
                     f"{dataset}-{pattern}",

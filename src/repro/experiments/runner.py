@@ -15,7 +15,8 @@ Centralizes three things every table/figure needs:
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+import warnings
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import SimulationError
 from ..graph.csr import CSRGraph
@@ -27,9 +28,29 @@ from ..sim.accelerator import simulate
 from ..sim.config import SimConfig
 from ..sim.metrics import RunMetrics
 
-#: Dataset scale factor; override with the REPRO_SCALE environment
-#: variable to shrink (quick runs) or grow every dataset proportionally.
-DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+def default_scale() -> float:
+    """Dataset scale factor, read lazily from ``REPRO_SCALE``.
+
+    Reading the environment at call time (not import time) lets tests
+    and the CLI set ``REPRO_SCALE`` after ``repro`` is imported and
+    still take effect; the default is 1.0.
+    """
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def __getattr__(name: str):
+    # Deprecated alias: DEFAULT_SCALE was a module constant frozen at
+    # import time, which silently ignored later REPRO_SCALE changes.
+    if name == "DEFAULT_SCALE":
+        warnings.warn(
+            "repro.experiments.runner.DEFAULT_SCALE is deprecated; "
+            "call default_scale() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return default_scale()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def eval_config(**overrides) -> SimConfig:
@@ -66,10 +87,25 @@ def eval_config(**overrides) -> SimConfig:
 _GRAPH_COUNTS: Dict[Tuple[str, str, float], int] = {}
 _RUNS: Dict[Tuple, RunMetrics] = {}
 
+#: Cell-interception hook installed by ``repro.orchestrator``: called by
+#: :func:`run_cell` with the fully resolved cell before any simulation.
+#: Returning a RunMetrics short-circuits the run (cache replay); None
+#: falls through to the normal memoize-and-simulate path.
+CellHook = Callable[..., Optional[RunMetrics]]
+_CELL_HOOK: Optional[CellHook] = None
+
+
+def set_cell_hook(hook: Optional[CellHook]) -> Optional[CellHook]:
+    """Install ``hook`` (or None to uninstall); returns the previous hook."""
+    global _CELL_HOOK
+    previous = _CELL_HOOK
+    _CELL_HOOK = hook
+    return previous
+
 
 def get_graph(dataset: str, scale: Optional[float] = None) -> CSRGraph:
     """The synthetic stand-in graph for a dataset code."""
-    return load_dataset(dataset, scale=scale if scale is not None else DEFAULT_SCALE)
+    return load_dataset(dataset, scale=scale if scale is not None else default_scale())
 
 
 def get_schedule(pattern: str) -> MatchingSchedule:
@@ -79,10 +115,38 @@ def get_schedule(pattern: str) -> MatchingSchedule:
 
 def reference_count(dataset: str, pattern: str, *, scale: Optional[float] = None) -> int:
     """Exact match count from the software reference miner (memoized)."""
-    key = (dataset, pattern, scale if scale is not None else DEFAULT_SCALE)
+    key = (dataset, pattern, scale if scale is not None else default_scale())
     if key not in _GRAPH_COUNTS:
         _GRAPH_COUNTS[key] = count_matches(get_graph(dataset, scale), get_schedule(pattern))
     return _GRAPH_COUNTS[key]
+
+
+def simulate_cell(
+    dataset: str,
+    pattern: str,
+    policy: str,
+    *,
+    config: Optional[SimConfig] = None,
+    scale: Optional[float] = None,
+    verify: bool = True,
+) -> RunMetrics:
+    """Simulate one evaluation cell, bypassing memoization and hooks.
+
+    This is the raw execution path orchestrator workers call in their
+    own processes; :func:`run_cell` wraps it with the in-process memo
+    and the orchestrator's cache/replay hook.
+    """
+    cfg = config if config is not None else eval_config()
+    scale_val = scale if scale is not None else default_scale()
+    metrics = simulate(get_graph(dataset, scale_val), get_schedule(pattern), policy=policy, config=cfg)
+    if verify:
+        expected = reference_count(dataset, pattern, scale=scale_val)
+        if metrics.matches != expected:
+            raise SimulationError(
+                f"{dataset}-{pattern}/{policy}: simulated {metrics.matches} "
+                f"matches but the reference miner found {expected}"
+            )
+    return metrics
 
 
 def run_cell(
@@ -96,18 +160,20 @@ def run_cell(
 ) -> RunMetrics:
     """Simulate one evaluation cell (memoized within the process)."""
     cfg = config if config is not None else eval_config()
-    scale_val = scale if scale is not None else DEFAULT_SCALE
+    scale_val = scale if scale is not None else default_scale()
+    if _CELL_HOOK is not None:
+        provided = _CELL_HOOK(
+            dataset=dataset, pattern=pattern, policy=policy,
+            config=cfg, scale=scale_val, verify=verify,
+        )
+        if provided is not None:
+            return provided
     key = (dataset, pattern, policy, scale_val, cfg)
     if key in _RUNS:
         return _RUNS[key]
-    metrics = simulate(get_graph(dataset, scale_val), get_schedule(pattern), policy=policy, config=cfg)
-    if verify:
-        expected = reference_count(dataset, pattern, scale=scale_val)
-        if metrics.matches != expected:
-            raise SimulationError(
-                f"{dataset}-{pattern}/{policy}: simulated {metrics.matches} "
-                f"matches but the reference miner found {expected}"
-            )
+    metrics = simulate_cell(
+        dataset, pattern, policy, config=cfg, scale=scale_val, verify=verify
+    )
     _RUNS[key] = metrics
     return metrics
 

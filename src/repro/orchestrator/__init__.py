@@ -1,0 +1,53 @@
+"""Parallel experiment orchestration with a persistent result cache.
+
+The subsystem that owns experiment execution (see docs/orchestrator.md):
+
+* :mod:`~repro.orchestrator.cells` — cell specs and content-addressed
+  cache keys (SimConfig fields + a code-version salt);
+* :mod:`~repro.orchestrator.cache` — the on-disk ``.repro-cache/``
+  store with atomic writes and corruption tolerance;
+* :mod:`~repro.orchestrator.scheduler` — planning (record the cells an
+  experiment needs), pooled execution with timeout/retry, and replayed
+  rendering that is byte-identical to the serial path;
+* :mod:`~repro.orchestrator.manifest` — per-cell outcomes, the failure
+  report, and the wall-time/speedup summary.
+"""
+
+from .cache import (
+    CacheEntry,
+    CacheInfo,
+    ResultCache,
+    cache_enabled,
+    default_cache_root,
+)
+from .cells import CACHE_SCHEMA, CellSpec, cell_key, code_salt
+from .manifest import CellOutcome, ExperimentOutcome, RunManifest
+from .scheduler import (
+    PLANNABLE_EXPERIMENTS,
+    CellExecutionError,
+    ExperimentRun,
+    Orchestrator,
+    attach_persistent_cache,
+    plan_experiment,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheEntry",
+    "CacheInfo",
+    "CellExecutionError",
+    "CellOutcome",
+    "CellSpec",
+    "ExperimentOutcome",
+    "ExperimentRun",
+    "Orchestrator",
+    "PLANNABLE_EXPERIMENTS",
+    "ResultCache",
+    "RunManifest",
+    "attach_persistent_cache",
+    "cache_enabled",
+    "cell_key",
+    "code_salt",
+    "default_cache_root",
+    "plan_experiment",
+]

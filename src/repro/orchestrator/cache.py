@@ -1,0 +1,166 @@
+"""Persistent content-addressed result cache (``.repro-cache/``).
+
+Layout: one JSON file per cell under a two-hex-character shard
+directory, ``<root>/<key[:2]>/<key>.json``, each holding the cell
+coordinates, the measured wall seconds, and the serialized
+:class:`~repro.sim.metrics.RunMetrics`.  Writes go through a temp file
+plus :func:`os.replace`, so concurrent writers (pool workers, parallel
+benchmark sessions) can never leave a torn entry; corrupt or
+unreadable files are treated as misses and removed.
+
+Environment knobs:
+
+* ``REPRO_CACHE=0`` disables caching entirely (every consult misses,
+  nothing is written);
+* ``REPRO_CACHE_DIR`` relocates the default root (default:
+  ``.repro-cache`` under the current working directory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..sim.metrics import RunMetrics
+from .cells import CACHE_SCHEMA, CellSpec, code_salt
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_enabled() -> bool:
+    """Whether persistent caching is globally enabled (``REPRO_CACHE``)."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in ("0", "false", "off")
+
+
+def default_cache_root() -> Path:
+    """The cache directory (``REPRO_CACHE_DIR`` or ``.repro-cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheEntry:
+    """One loaded cache record."""
+
+    key: str
+    metrics: RunMetrics
+    seconds: float
+    cell: dict
+
+
+@dataclass
+class CacheInfo:
+    """Aggregate cache statistics for ``repro cache info``."""
+
+    root: str
+    entries: int
+    bytes: int
+    salt: str
+
+    def render(self) -> str:
+        return (
+            f"cache root: {self.root}\n"
+            f"entries:    {self.entries}\n"
+            f"size:       {self.bytes} bytes\n"
+            f"code salt:  {self.salt}"
+        )
+
+
+class ResultCache:
+    """On-disk RunMetrics store keyed by :func:`~repro.orchestrator.cells.cell_key`."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Shard path of one entry."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        """Load one entry, or None on miss/corruption (corrupt = removed)."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            return CacheEntry(
+                key=key,
+                metrics=RunMetrics.from_dict(data["metrics"]),
+                seconds=float(data.get("seconds", 0.0)),
+                cell=dict(data.get("cell", {})),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, spec: CellSpec, key: str, metrics: RunMetrics, seconds: float) -> None:
+        """Atomically persist one result."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "salt": code_salt(),
+            "cell": spec.coordinates(),
+            "seconds": seconds,
+            "metrics": metrics.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            # Entries live only in two-hex shard directories; anything
+            # else (manifests, user files) is left alone.
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.json"))
+
+    def info(self) -> CacheInfo:
+        """Entry count and on-disk size."""
+        entries = 0
+        size = 0
+        for path in self._entry_paths():
+            entries += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return CacheInfo(
+            root=str(self.root), entries=entries, bytes=size, salt=code_salt()
+        )
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in list(self.root.iterdir()) if self.root.is_dir() else []:
+            if shard.is_dir() and len(shard.name) == 2:
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,119 @@
+"""Evaluation-cell identity: specs and content-addressed cache keys.
+
+One **cell** is the atomic unit of experiment work: simulate
+``(dataset, pattern, policy)`` at one scale under one
+:class:`~repro.sim.config.SimConfig`.  Cells are value objects — two
+figures that loop over the same grid produce *equal* specs, which is
+what lets the scheduler deduplicate work across an invocation and the
+cache deduplicate it across processes.
+
+The cache key is a SHA-256 over a canonical JSON encoding of every
+input that determines the result:
+
+* the cell coordinates (dataset, scale, pattern, policy, verify flag),
+* every ``SimConfig`` field by name (so adding a knob automatically
+  widens the key), and
+* a **code-version salt** — a digest of the source of the packages that
+  define simulation semantics (``sim``, ``core``, ``mining``,
+  ``patterns``, ``graph`` and the runner).  Editing any of them
+  invalidates every cached result, so stale metrics cannot survive a
+  behavioural change.  ``REPRO_CACHE_SALT`` overrides the salt for
+  tests or pinned deployments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+
+from ..sim.config import SimConfig
+
+#: Bump when the cache entry format changes; part of the key, so old
+#: entries simply become misses instead of needing a migration.
+CACHE_SCHEMA = 1
+
+#: Package subtrees (or single modules) whose source feeds the salt.
+SALT_SOURCES = ("sim", "core", "mining", "patterns", "graph", "experiments/runner.py")
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One evaluation cell, fully resolved (no None defaults left)."""
+
+    dataset: str
+    pattern: str
+    policy: str
+    scale: float
+    config: SimConfig
+    verify: bool = True
+
+    def label(self) -> str:
+        """Short human-readable identifier for progress/failure lines.
+
+        The config fingerprint distinguishes cells that differ only in
+        SimConfig (width sweeps, ablation overrides).
+        """
+        fields = {
+            f.name: getattr(self.config, f.name)
+            for f in dataclasses.fields(self.config)
+        }
+        fingerprint = hashlib.sha256(
+            json.dumps(fields, sort_keys=True, default=repr).encode()
+        ).hexdigest()[:6]
+        return (
+            f"{self.dataset}-{self.pattern}/{self.policy}"
+            f"@{self.scale:g}+cfg:{fingerprint}"
+        )
+
+    def coordinates(self) -> dict:
+        """The non-config coordinates (manifest/cache metadata)."""
+        return {
+            "dataset": self.dataset,
+            "pattern": self.pattern,
+            "policy": self.policy,
+            "scale": self.scale,
+            "verify": self.verify,
+        }
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Digest of the simulation-defining source (or ``REPRO_CACHE_SALT``)."""
+    env = os.environ.get("REPRO_CACHE_SALT")
+    if env:
+        return env
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parents[1]  # src/repro
+    for rel in SALT_SOURCES:
+        path = package_root / rel
+        sources = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in sources:
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+    digest.update(str(CACHE_SCHEMA).encode())
+    return digest.hexdigest()[:16]
+
+
+def cell_key(spec: CellSpec) -> str:
+    """Stable content-addressed key for one cell (hex SHA-256)."""
+    payload = {
+        "dataset": spec.dataset,
+        "pattern": spec.pattern,
+        "policy": spec.policy,
+        # repr() keeps full float precision; json would round-trip too,
+        # but repr makes the canonical form explicit.
+        "scale": repr(spec.scale),
+        "verify": spec.verify,
+        "config": {
+            f.name: getattr(spec.config, f.name)
+            for f in dataclasses.fields(spec.config)
+        },
+        "salt": code_salt(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

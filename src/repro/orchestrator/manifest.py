@@ -1,0 +1,133 @@
+"""Run manifests: per-cell outcomes, failure report, progress summary.
+
+The manifest is the orchestrator's audit trail for one ``experiment``
+invocation: every deduplicated cell appears exactly once with its
+status (``cached`` / ``computed`` / ``failed``), attempt count and wall
+seconds, and every requested experiment appears with its render status.
+A failed cell does not abort the sweep — it is recorded here, the
+experiments that need it are marked failed, and everything else
+completes (the ISSUE's "structured failure report" semantics).
+
+The *serial estimate* sums each cell's measured execution time (cached
+cells contribute the seconds recorded when they were first computed),
+so ``speedup_estimate`` compares the actual wall time against what a
+one-cell-at-a-time cold run would have cost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one deduplicated cell."""
+
+    key: str
+    label: str
+    status: str                # "cached" | "computed" | "failed"
+    seconds: float = 0.0
+    attempts: int = 0
+    error: Optional[Dict[str, str]] = None
+
+
+@dataclass
+class ExperimentOutcome:
+    """Render status of one requested experiment."""
+
+    name: str
+    status: str                # "ok" | "failed"
+    error: Optional[str] = None
+
+
+@dataclass
+class RunManifest:
+    """Aggregate record of one orchestrated invocation."""
+
+    jobs: int = 1
+    cells: List[CellOutcome] = field(default_factory=list)
+    experiments: List[ExperimentOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self.cells)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for c in self.cells if c.status == "cached")
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for c in self.cells if c.status == "computed")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for c in self.cells if c.status == "failed")
+
+    @property
+    def done(self) -> int:
+        return self.cached + self.computed
+
+    @property
+    def serial_estimate_seconds(self) -> float:
+        return sum(c.seconds for c in self.cells if c.status != "failed")
+
+    def speedup_estimate(self) -> float:
+        """Serial-cost / wall-time ratio (cache hits count as savings)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.serial_estimate_seconds / self.wall_seconds
+
+    def failures(self) -> List[CellOutcome]:
+        """The structured failure report: every failed cell."""
+        return [c for c in self.cells if c.status == "failed"]
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable (and CI-greppable) summary block."""
+        lines = [
+            f"cells: {self.total} total — {self.cached} cached, "
+            f"{self.computed} computed, {self.failed} failed (jobs={self.jobs})",
+            f"wall time {self.wall_seconds:.2f}s, serial estimate "
+            f"{self.serial_estimate_seconds:.2f}s, speedup estimate "
+            f"{self.speedup_estimate():.1f}x",
+        ]
+        for cell in self.failures():
+            error = cell.error or {}
+            lines.append(
+                f"FAILED {cell.label} after {cell.attempts} attempt(s): "
+                f"{error.get('type', 'Error')}: {error.get('message', '')}"
+            )
+        for exp in self.experiments:
+            if exp.status != "ok":
+                lines.append(f"FAILED experiment {exp.name}: {exp.error}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "serial_estimate_seconds": self.serial_estimate_seconds,
+            "totals": {
+                "total": self.total,
+                "cached": self.cached,
+                "computed": self.computed,
+                "failed": self.failed,
+            },
+            "cells": [asdict(c) for c in self.cells],
+            "experiments": [asdict(e) for e in self.experiments],
+        }
+
+    def save(self, path: Union[str, os.PathLike]) -> None:
+        """Write the manifest as JSON (parent directories created)."""
+        path = os.fspath(path)
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)

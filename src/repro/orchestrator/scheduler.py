@@ -1,0 +1,458 @@
+"""Cell scheduler: expand experiments into cells, execute on a pool.
+
+Execution is a two-level DAG: every requested experiment depends on the
+evaluation cells it reads, and cells are deduplicated *across* the
+whole invocation (Figure 9 and Figure 10 share their Shogun runs, so
+the pair costs one grid, not two).  The orchestrator runs it in three
+phases:
+
+1. **plan** — each plannable experiment runs once with a recording hook
+   installed in :func:`repro.experiments.runner.run_cell`; every cell it
+   would simulate is captured as a :class:`CellSpec` and the simulation
+   itself is skipped (placeholder metrics are returned, never memoized).
+   Experiments whose cost is not behind ``run_cell`` (table2's reference
+   mining, table3/table4's statistics) are "direct": they skip this
+   phase and simply execute inline during render.
+2. **execute** — deduplicated cells are satisfied from the persistent
+   cache when possible; the rest run on a ``ProcessPoolExecutor``
+   (``jobs`` workers, fork context when available) or in-process when
+   ``jobs=1`` or no pool can be created.  Each cell gets a wall-clock
+   timeout and a bounded number of retries; a cell that exhausts them
+   lands in the manifest's failure report instead of aborting the sweep.
+3. **render** — each experiment runs for real with a replay hook that
+   serves every ``run_cell`` from the in-memory results, so the rendered
+   rows are byte-identical to the serial path (the simulator is
+   deterministic; see docs/simulator.md).  An experiment that needs a
+   failed cell raises :class:`CellExecutionError`, is recorded as
+   failed, and the remaining experiments still render.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import RunMetrics
+from .cache import ResultCache
+from .cells import CellSpec, cell_key
+from .manifest import CellOutcome, ExperimentOutcome, RunManifest
+
+#: Experiments whose cell set can be recorded without real simulation
+#: (every expensive call goes through ``run_cell``).
+PLANNABLE_EXPERIMENTS = frozenset({
+    "figure3a", "figure3b", "figure9", "figure10", "figure11",
+    "figure12", "figure13a", "figure13b", "figure14",
+    "table1",
+    "ablation_conservative_mode", "ablation_tokens", "ablation_pipeline_throughput",
+})
+
+
+class CellExecutionError(RuntimeError):
+    """A rendered experiment needed a cell that failed to execute."""
+
+    def __init__(self, label: str, error: Dict[str, str]) -> None:
+        self.label = label
+        self.error = error
+        super().__init__(
+            f"cell {label} failed: {error.get('type', 'Error')}: "
+            f"{error.get('message', '')}"
+        )
+
+
+@dataclass
+class ExperimentRun:
+    """Result of one orchestrated invocation."""
+
+    names: List[str]
+    rendered: Dict[str, str] = field(default_factory=dict)
+    results: Dict[str, object] = field(default_factory=dict)
+    manifest: RunManifest = field(default_factory=RunManifest)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.status == "ok" for e in self.manifest.experiments)
+
+
+# ----------------------------------------------------------------------
+# experiment invocation helpers
+# ----------------------------------------------------------------------
+
+def _call_experiment(name: str, scale: Optional[float], overrides: Optional[dict] = None):
+    from .. import experiments
+
+    fn = getattr(experiments, name)
+    kwargs = dict(overrides or {})
+    if scale is not None and "scale" in inspect.signature(fn).parameters:
+        kwargs.setdefault("scale", scale)
+    return fn(**kwargs)
+
+
+def _placeholder_metrics(policy: str) -> RunMetrics:
+    # cycles=1.0 keeps every speedup/normalization expression finite
+    # while an experiment runs against recorded placeholders.
+    return RunMetrics(policy=policy, cycles=1.0)
+
+
+def plan_experiment(
+    name: str,
+    scale: Optional[float] = None,
+    overrides: Optional[dict] = None,
+) -> Dict[str, CellSpec]:
+    """The deduplicated cells one experiment would simulate.
+
+    Returns ``{}`` for direct (non-plannable) experiments; their work
+    happens inline at render time.
+    """
+    from ..experiments import runner
+
+    if name not in PLANNABLE_EXPERIMENTS:
+        return {}
+    recorded: Dict[str, CellSpec] = {}
+
+    def recorder(*, dataset, pattern, policy, config, scale, verify):
+        spec = CellSpec(dataset, pattern, policy, scale, config, verify)
+        recorded.setdefault(cell_key(spec), spec)
+        return _placeholder_metrics(policy)
+
+    previous = runner.set_cell_hook(recorder)
+    try:
+        _call_experiment(name, scale, overrides)
+    finally:
+        runner.set_cell_hook(previous)
+    return recorded
+
+
+# ----------------------------------------------------------------------
+# worker entry point (top level so it pickles under any start method)
+# ----------------------------------------------------------------------
+
+def _execute_cell(payload: Tuple) -> Tuple[str, Optional[dict], Optional[dict], float]:
+    """Run one cell; returns (key, metrics_dict | None, error | None, seconds).
+
+    Exceptions never propagate: they come back as structured error
+    dictionaries so one bad cell cannot poison the pool or the sweep.
+    Metrics cross the process boundary as plain dicts
+    (``RunMetrics.to_dict``), the same form the cache stores.
+    """
+    key, dataset, pattern, policy, config, scale, verify = payload
+    start = time.perf_counter()
+    try:
+        from ..experiments.runner import simulate_cell
+
+        metrics = simulate_cell(
+            dataset, pattern, policy, config=config, scale=scale, verify=verify
+        )
+        return (key, metrics.to_dict(), None, time.perf_counter() - start)
+    except BaseException as exc:  # structured failure report, not a crash
+        error = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(),
+        }
+        return (key, None, error, time.perf_counter() - start)
+
+
+def _spec_payload(key: str, spec: CellSpec) -> Tuple:
+    return (key, spec.dataset, spec.pattern, spec.policy,
+            spec.config, spec.scale, spec.verify)
+
+
+# ----------------------------------------------------------------------
+# the orchestrator
+# ----------------------------------------------------------------------
+
+class Orchestrator:
+    """Executes deduplicated evaluation cells and renders experiments.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs everything
+        in-process; higher values use a ``ProcessPoolExecutor`` and fall
+        back to in-process execution if no pool can be created.
+    cache:
+        A :class:`ResultCache`, or None to run uncached.
+    timeout:
+        Per-cell wall-clock limit in seconds (pool mode only — a single
+        process cannot preempt itself).  A timed-out cell is recorded as
+        failed with ``TimeoutError``.
+    retries:
+        Extra attempts a failed cell is granted before it lands in the
+        failure report.
+    progress:
+        Optional ``callable(str)`` receiving one line per cell event.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def _report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    def run_cells(
+        self,
+        specs: Dict[str, CellSpec],
+        manifest: Optional[RunManifest] = None,
+    ) -> Tuple[Dict[str, RunMetrics], Dict[str, dict]]:
+        """Execute deduplicated cells; returns (results, failures) by key."""
+        manifest = manifest if manifest is not None else RunManifest(jobs=self.jobs)
+        results: Dict[str, RunMetrics] = {}
+        failures: Dict[str, dict] = {}
+        pending: Dict[str, CellSpec] = {}
+
+        for key, spec in specs.items():
+            entry = self.cache.get(key) if self.cache is not None else None
+            if entry is not None:
+                results[key] = entry.metrics
+                manifest.cells.append(
+                    CellOutcome(key, spec.label(), "cached", entry.seconds)
+                )
+                self._report(f"[cache hit] {spec.label()}")
+            else:
+                pending[key] = spec
+
+        attempts = {key: 0 for key in pending}
+        wave = dict(pending)
+        total = len(specs)
+        while wave:
+            outcomes = self._run_wave(wave, done=len(results), total=total)
+            next_wave: Dict[str, CellSpec] = {}
+            for key, (metrics, error, seconds) in outcomes.items():
+                attempts[key] += 1
+                spec = wave[key]
+                if metrics is not None:
+                    results[key] = metrics
+                    manifest.cells.append(
+                        CellOutcome(key, spec.label(), "computed",
+                                    seconds, attempts[key])
+                    )
+                    if self.cache is not None:
+                        self.cache.put(spec, key, metrics, seconds)
+                elif attempts[key] <= self.retries:
+                    self._report(
+                        f"[retry {attempts[key]}/{self.retries}] {spec.label()}: "
+                        f"{(error or {}).get('type', 'Error')}"
+                    )
+                    next_wave[key] = spec
+                else:
+                    failures[key] = error or {}
+                    manifest.cells.append(
+                        CellOutcome(key, spec.label(), "failed",
+                                    seconds, attempts[key], error)
+                    )
+            wave = next_wave
+        return results, failures
+
+    # ------------------------------------------------------------------
+    def _run_wave(
+        self, wave: Dict[str, CellSpec], *, done: int, total: int
+    ) -> Dict[str, Tuple[Optional[RunMetrics], Optional[dict], float]]:
+        if self.jobs > 1 and len(wave) > 1:
+            try:
+                return self._run_wave_pool(wave, done=done, total=total)
+            except (OSError, ImportError, NotImplementedError, PermissionError) as exc:
+                self._report(
+                    f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                    "falling back to in-process execution"
+                )
+        return self._run_wave_serial(wave, done=done, total=total)
+
+    def _run_wave_serial(self, wave, *, done, total):
+        outcomes = {}
+        for key, spec in wave.items():
+            result_key, metrics_dict, error, seconds = _execute_cell(
+                _spec_payload(key, spec)
+            )
+            metrics = RunMetrics.from_dict(metrics_dict) if metrics_dict else None
+            outcomes[key] = (metrics, error, seconds)
+            done += 1 if metrics is not None else 0
+            self._progress_line(spec, metrics is not None, seconds, done, total)
+        return outcomes
+
+    def _run_wave_pool(self, wave, *, done, total):
+        outcomes = {}
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            # fork inherits sys.path and loaded modules — workers start
+            # fast and find `repro` regardless of how it was imported.
+            context = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(wave)), mp_context=context
+        )
+        timed_out = False
+        try:
+            futures = {
+                key: executor.submit(_execute_cell, _spec_payload(key, spec))
+                for key, spec in wave.items()
+            }
+            for key, future in futures.items():
+                spec = wave[key]
+                try:
+                    _, metrics_dict, error, seconds = future.result(timeout=self.timeout)
+                    metrics = (
+                        RunMetrics.from_dict(metrics_dict) if metrics_dict else None
+                    )
+                except FutureTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    metrics, seconds = None, float(self.timeout or 0.0)
+                    error = {
+                        "type": "TimeoutError",
+                        "message": f"cell exceeded {self.timeout:.0f}s",
+                        "traceback": "",
+                    }
+                except Exception as exc:  # e.g. BrokenProcessPool
+                    metrics, seconds = None, 0.0
+                    error = {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": "",
+                    }
+                outcomes[key] = (metrics, error, seconds)
+                done += 1 if metrics is not None else 0
+                self._progress_line(spec, metrics is not None, seconds, done, total)
+        finally:
+            # A hung worker must not block the sweep: abandon it and let
+            # process teardown reap it.
+            executor.shutdown(wait=not timed_out, cancel_futures=True)
+        return outcomes
+
+    def _progress_line(self, spec, ok, seconds, done, total):
+        status = "ok" if ok else "FAILED"
+        self._report(f"[{done}/{total}] {spec.label()} {status} ({seconds:.2f}s)")
+
+    # ------------------------------------------------------------------
+    def run_experiments(
+        self,
+        names: Sequence[str],
+        *,
+        scale: Optional[float] = None,
+        overrides: Optional[Dict[str, dict]] = None,
+    ) -> ExperimentRun:
+        """Plan, execute and render ``names``; never raises per-cell errors.
+
+        ``overrides`` maps an experiment name to extra keyword arguments
+        for its entry point (tests use it to shrink grids).
+        """
+        from ..experiments import runner
+
+        start = time.perf_counter()
+        manifest = RunManifest(jobs=self.jobs)
+        run = ExperimentRun(names=list(names), manifest=manifest)
+
+        specs: Dict[str, CellSpec] = {}
+        per_experiment = overrides or {}
+        for name in names:
+            for key, spec in plan_experiment(
+                name, scale, per_experiment.get(name)
+            ).items():
+                specs.setdefault(key, spec)
+        self._report(
+            f"planned {len(specs)} unique cells across {len(names)} experiment(s)"
+        )
+
+        results, failures = self.run_cells(specs, manifest)
+
+        def replay(*, dataset, pattern, policy, config, scale, verify):
+            key = cell_key(CellSpec(dataset, pattern, policy, scale, config, verify))
+            if key in results:
+                return results[key]
+            if key in failures:
+                spec = CellSpec(dataset, pattern, policy, scale, config, verify)
+                raise CellExecutionError(spec.label(), failures[key])
+            return None  # unplanned cell: compute inline
+
+        previous = runner.set_cell_hook(replay)
+        try:
+            for name in names:
+                try:
+                    result = _call_experiment(name, scale, per_experiment.get(name))
+                    run.results[name] = result
+                    run.rendered[name] = result.render()
+                    manifest.experiments.append(ExperimentOutcome(name, "ok"))
+                except Exception as exc:
+                    manifest.experiments.append(
+                        ExperimentOutcome(
+                            name, "failed", f"{type(exc).__name__}: {exc}"
+                        )
+                    )
+                    self._report(f"experiment {name} failed: {exc}")
+        finally:
+            runner.set_cell_hook(previous)
+
+        manifest.wall_seconds = time.perf_counter() - start
+        if self.cache is not None:
+            try:
+                manifest.save(self.cache.root / "last-run.json")
+            except OSError:
+                pass
+        return run
+
+
+# ----------------------------------------------------------------------
+# standing cache attachment (benchmark sessions)
+# ----------------------------------------------------------------------
+
+def attach_persistent_cache(
+    cache: Optional[ResultCache] = None,
+) -> Callable[[], None]:
+    """Route every ``run_cell`` through the on-disk cache; returns a detach.
+
+    Used by ``benchmarks/conftest.py``: the first benchmark session
+    pays the simulations and fills ``.repro-cache/``; later sessions
+    (and ``repro experiment`` invocations sharing the directory) replay
+    them.  Honors ``REPRO_CACHE=0`` by attaching nothing.
+    """
+    from ..experiments import runner
+    from .cache import cache_enabled
+
+    if cache is None:
+        if not cache_enabled():
+            return lambda: None
+        cache = ResultCache()
+    memo: Dict[str, RunMetrics] = {}
+
+    def hook(*, dataset, pattern, policy, config, scale, verify):
+        spec = CellSpec(dataset, pattern, policy, scale, config, verify)
+        key = cell_key(spec)
+        if key in memo:
+            return memo[key]
+        entry = cache.get(key)
+        if entry is not None:
+            memo[key] = entry.metrics
+            return entry.metrics
+        start = time.perf_counter()
+        metrics = runner.simulate_cell(
+            dataset, pattern, policy, config=config, scale=scale, verify=verify
+        )
+        cache.put(spec, key, metrics, time.perf_counter() - start)
+        memo[key] = metrics
+        return metrics
+
+    previous = runner.set_cell_hook(hook)
+
+    def detach() -> None:
+        runner.set_cell_hook(previous)
+
+    return detach

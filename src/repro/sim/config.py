@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigError
 
@@ -67,6 +68,9 @@ class SimConfig:
     iu_util_threshold: float = 0.5      # IU utilization floor
     monitor_epoch_cycles: int = 2048
     monitor_exit_epochs: int = 2        # clear epochs before leaving the mode
+    #: None = adaptive (the monitor decides); True/False pin the mode on
+    #: or off for the whole run (the conservative-mode ablation).
+    conservative_override: Optional[bool] = None
 
     # --- system scheduler --------------------------------------------------
     #: "dynamic": PEs pull the next root from the system scheduler as
@@ -113,6 +117,8 @@ class SimConfig:
             raise ConfigError("FU counts must be >= 1")
         if self.root_dispatch not in ("static", "dynamic"):
             raise ConfigError("root_dispatch must be 'static' or 'dynamic'")
+        if self.conservative_override not in (None, True, False):
+            raise ConfigError("conservative_override must be None, True or False")
         if self.unit_tasks_per_cycle <= 0:
             raise ConfigError("unit_tasks_per_cycle must be positive")
 

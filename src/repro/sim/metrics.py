@@ -9,6 +9,7 @@ event counters (splitting rounds, merges, quiesces).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -39,6 +40,16 @@ class PEMetrics:
         """L1 hit fraction for this PE."""
         total = self.l1_hits + self.l1_misses
         return self.l1_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation (see :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PEMetrics":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -74,6 +85,23 @@ class RunMetrics:
         if self.cycles <= 0:
             return float("inf")
         return baseline.cycles / self.cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable representation, recursing into ``per_pe``.
+
+        The persistent result cache (``repro.orchestrator``) stores runs
+        in this form; :meth:`from_dict` round-trips it exactly.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored
+        so cache entries written by a newer schema still load."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        payload["per_pe"] = [PEMetrics.from_dict(p) for p in data.get("per_pe", [])]
+        return cls(**payload)
 
     def summary(self) -> str:
         """One-line human-readable digest used by examples."""

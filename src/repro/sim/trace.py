@@ -134,7 +134,14 @@ class TraceRecorder:
         )
 
     def save_csv(self, path: str | os.PathLike) -> None:
-        """Write spans as CSV (pe, task, tree, depth, vertex, start, end)."""
+        """Write spans as CSV (pe, task, tree, depth, vertex, start, end).
+
+        Missing parent directories are created, so nested output paths
+        like ``out/run/trace.csv`` work without prior ``mkdir``.
+        """
+        parent = os.path.dirname(os.fspath(path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("pe,task_id,tree,depth,vertex,start,end\n")
             for s in self.spans:

@@ -64,5 +64,55 @@ class TestCommands:
         ) == 0
 
     def test_experiment(self, capsys):
-        assert main(["experiment", "table3"]) == 0
+        assert main(["experiment", "table3", "--no-cache"]) == 0
         assert "178" in capsys.readouterr().out
+
+    def test_experiment_prints_manifest(self, capsys):
+        assert main(["experiment", "table3", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 failed" in out
+
+    def test_experiment_parallel_with_cache(self, tmp_path, capsys):
+        args = ["experiment", "figure3a", "--scale", "0.12", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache"), "--quiet"]
+        from repro.experiments import clear_run_cache
+
+        clear_run_cache()
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        clear_run_cache()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 computed" in second and "0 failed" in second  # warm cache
+        # Identical figure rows across cold parallel and warm cached runs
+        # (everything above the manifest block).
+        assert first.split("cells:")[0] == second.split("cells:")[0]
+
+    def test_experiment_scale_from_environment(self, monkeypatch, capsys):
+        # REPRO_SCALE set after import must reach the orchestrator path.
+        monkeypatch.setenv("REPRO_SCALE", "0.12")
+        assert main(["experiment", "table4", "--no-cache"]) == 0
+        out_small = capsys.readouterr().out
+        monkeypatch.delenv("REPRO_SCALE")
+        assert main(["experiment", "table4", "--no-cache"]) == 0
+        out_full = capsys.readouterr().out
+        assert out_small != out_full
+
+
+class TestCacheCommands:
+    def test_info_empty(self, tmp_path, capsys):
+        assert main(["cache", "info", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+
+    def test_populate_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["experiment", "figure3a", "--scale", "0.12",
+                     "--cache-dir", cache_dir, "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:    8" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 8" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries:    0" in capsys.readouterr().out

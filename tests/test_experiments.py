@@ -80,6 +80,29 @@ class TestRunner:
         assert a is not c
 
 
+class TestDefaultScale:
+    def test_reads_environment_lazily(self, monkeypatch):
+        from repro.experiments import default_scale
+
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert default_scale() == 0.25
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.delenv("REPRO_SCALE")
+        assert default_scale() == 1.0
+
+    def test_deprecated_alias_tracks_environment(self, monkeypatch):
+        import repro.experiments
+        import repro.experiments.runner as runner
+
+        monkeypatch.setenv("REPRO_SCALE", "0.3")
+        with pytest.warns(DeprecationWarning):
+            assert runner.DEFAULT_SCALE == 0.3
+        # The package-level re-export resolves lazily too.
+        with pytest.warns(DeprecationWarning):
+            assert repro.experiments.DEFAULT_SCALE == 0.3
+
+
 class TestReporting:
     def test_render_table_aligns(self):
         text = render_table(["a", "bb"], [[1, 2.5], ["xyz", 0.123]], title="T")

@@ -52,3 +52,41 @@ class TestPEMetrics:
 
     def test_hit_rate_no_accesses(self):
         assert PEMetrics(pe_id=0).l1_hit_rate == 0.0
+
+
+class TestSerialization:
+    def _run(self) -> RunMetrics:
+        return RunMetrics(
+            policy="shogun",
+            cycles=1234.5,
+            matches=42,
+            split_rounds=3,
+            extra={"custom": 1.5},
+            per_pe=[
+                PEMetrics(pe_id=0, tasks_executed=10, l1_hits=9, l1_misses=1),
+                PEMetrics(pe_id=1, iu_utilization=0.5, token_stalls=2),
+            ],
+        )
+
+    def test_round_trip_equality(self):
+        original = self._run()
+        assert RunMetrics.from_dict(original.to_dict()) == original
+
+    def test_round_trip_through_json(self):
+        import json
+
+        original = self._run()
+        rebuilt = RunMetrics.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert rebuilt == original
+        assert rebuilt.per_pe[0].l1_hit_rate == pytest.approx(0.9)
+
+    def test_pe_metrics_round_trip(self):
+        pm = PEMetrics(pe_id=3, busy_slot_cycles=7.5, conservative_entries=2)
+        assert PEMetrics.from_dict(pm.to_dict()) == pm
+
+    def test_unknown_keys_ignored(self):
+        data = self._run().to_dict()
+        data["added_in_future_version"] = 99
+        data["per_pe"][0]["novel_counter"] = 1
+        rebuilt = RunMetrics.from_dict(data)
+        assert rebuilt.matches == 42

@@ -98,3 +98,9 @@ class TestTraceRecorder:
         lines = path.read_text().strip().splitlines()
         assert lines[0].startswith("pe,")
         assert len(lines) == len(trace.spans) + 1
+
+    def test_csv_creates_parent_directories(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = tmp_path / "out" / "run" / "trace.csv"
+        trace.save_csv(path)
+        assert path.read_text().startswith("pe,")
