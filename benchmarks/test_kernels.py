@@ -1,0 +1,289 @@
+"""Kernel benchmarks: vectorized hot paths vs the in-repo pure-Python
+references, plus an end-to-end cell timing, emitted as ``BENCH_kernels.json``.
+
+Each kernel benchmark times the production (numpy-vectorized) implementation
+against the reference implementation this repository keeps as its test
+oracle, on workloads drawn from a real dataset cell (``lj`` adjacency
+sets).  Correctness is asserted inline — the speedup numbers are only
+meaningful if both sides compute the same thing.
+
+Output and regression gate
+--------------------------
+The final test aggregates every record into ``BENCH_kernels.json`` at the
+repository root and compares the end-to-end cell walls against the
+committed baseline ``benchmarks/BENCH_kernels_baseline.json``:
+
+* a cell regressing more than 25% versus the baseline **fails** the test;
+* baseline walls are rescaled by a pure-Python calibration loop measured
+  in the same process, so a uniformly slower/faster CI machine does not
+  trip (or mask) the gate;
+* ``REPRO_UPDATE_BENCH_BASELINE=1`` rewrites the baseline in place;
+* ``REPRO_BENCH_GATE=0`` disables the gate (records only).
+
+Wall-clock methodology follows docs/performance.md: best-of-N
+``perf_counter`` timing, no profiler instrumentation.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments import eval_config
+from repro.graph import load_dataset
+from repro.mining import (
+    as_sorted_array,
+    intersect,
+    intersect_multi,
+    intersect_multi_reference,
+    intersect_reference,
+)
+from repro.patterns import benchmark_schedule
+from repro.sim import Cache, Engine, ReferenceCache, simulate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernels_baseline.json"
+REGRESSION_LIMIT = 1.25
+
+#: Shared across the tests in this module; ``test_zz_emit_and_gate`` (which
+#: sorts last in file order) writes the file and applies the gate.
+RESULTS = {"kernels": {}, "cells": {}}
+
+
+def _best_of(fn, repeats=7):
+    """Best-of-N wall time: robust to scheduler noise on shared runners."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record_kernel(name, vectorized_s, reference_s, detail):
+    RESULTS["kernels"][name] = {
+        "vectorized_s": vectorized_s,
+        "reference_s": reference_s,
+        "speedup": reference_s / vectorized_s if vectorized_s > 0 else float("inf"),
+        "detail": detail,
+    }
+
+
+def _calibration_wall():
+    """A fixed pure-Python workload; its wall tracks interpreter speed."""
+    def spin():
+        total = 0
+        for i in range(400_000):
+            total += i * i
+        return total
+
+    return _best_of(spin, repeats=3)
+
+
+@pytest.fixture(scope="module")
+def adjacency():
+    """Representative sorted neighbor sets: the ``lj`` stand-in's densest
+    vertices at full scale, exactly the operands a 4-clique cell feeds the
+    set-op FU.  Kernel operands deliberately ignore ``REPRO_SCALE`` — a
+    scaled-down graph shrinks the sets until numpy call overhead, not the
+    kernel, dominates; only the end-to-end cell timing honors the scale."""
+    graph = load_dataset("lj", scale=1.0)
+    order = np.argsort(graph.degrees)[::-1]
+    sets = [graph.neighbors(int(v)) for v in order[:128]]
+    return [s for s in sets if len(s) >= 2]
+
+
+class TestKernelSetOps:
+    def test_intersect_vs_reference(self, adjacency):
+        pairs = [
+            (adjacency[i], adjacency[(i * 7 + 3) % len(adjacency)])
+            for i in range(len(adjacency))
+        ]
+        for a, b in pairs[:16]:
+            assert list(intersect(a, b)) == intersect_reference(list(a), list(b))
+        list_pairs = [(list(a), list(b)) for a, b in pairs]
+        vec = _best_of(lambda: [intersect(a, b) for a, b in pairs])
+        ref = _best_of(lambda: [intersect_reference(a, b) for a, b in list_pairs])
+        _record_kernel(
+            "setops_intersect", vec, ref,
+            f"{len(pairs)} adjacency-pair intersections, lj top-degree sets",
+        )
+
+    def test_intersect_multi_vs_reference(self, adjacency):
+        triples = [
+            [adjacency[i], adjacency[(i * 5 + 1) % len(adjacency)],
+             adjacency[(i * 11 + 2) % len(adjacency)]]
+            for i in range(len(adjacency))
+        ]
+        for arrays in triples[:8]:
+            assert list(intersect_multi(arrays)) == intersect_multi_reference(
+                [list(a) for a in arrays]
+            )
+        list_triples = [[list(a) for a in arrays] for arrays in triples]
+        vec = _best_of(lambda: [intersect_multi(t) for t in triples])
+        ref = _best_of(lambda: [intersect_multi_reference(t) for t in list_triples])
+        _record_kernel(
+            "setops_intersect_multi", vec, ref,
+            f"{len(triples)} three-way intersections, lj top-degree sets",
+        )
+
+    def test_as_sorted_array_fast_path(self, adjacency):
+        arrays = [np.asarray(a, dtype=np.int64) for a in adjacency]
+        for arr in arrays[:8]:
+            assert list(as_sorted_array(arr)) == list(as_sorted_array(list(arr)))
+        vec = _best_of(lambda: [as_sorted_array(a) for a in arrays])
+        # The pre-fast-path behaviour for ndarray input: materialize a list,
+        # then sort-unique it — that conversion is part of the "before".
+        ref = _best_of(lambda: [as_sorted_array(list(a)) for a in arrays])
+        _record_kernel(
+            "as_sorted_array_ndarray_fast_path", vec, ref,
+            f"{len(arrays)} already-sorted neighbor arrays vs list round-trip",
+        )
+
+
+class TestKernelCache:
+    def test_flat_cache_vs_reference_cache(self):
+        """The flattened numpy cache against the retained dict model, on
+        wide hit-dominated sweeps — the batched API's design point (the
+        simulator's L1 hit rates sit near 1.0; its tiny per-task batches
+        go through the sequential inlined probe instead)."""
+        rng = np.random.RandomState(7)
+        size_bytes, assoc, line = 32 * 1024, 4, 64
+        # 480 distinct lines cycling through a 512-line cache: ~97% hits
+        # with a steady trickle of capacity evictions.
+        batches = [
+            [int(a) for a in rng.choice(480, size=256, replace=False)]
+            for _ in range(64)
+        ]
+
+        def run_flat():
+            cache = Cache(size_bytes, assoc, line)
+            for batch in batches:
+                mask = cache.access_lines(batch)
+                cache.insert_lines(
+                    [addr for addr, hit in zip(batch, mask) if not hit]
+                )
+            return cache
+
+        def run_reference():
+            # Same function: probe the whole batch, then fill the misses
+            # (interleaving fills would change later probes' outcomes).
+            cache = ReferenceCache(size_bytes, assoc, line)
+            for batch in batches:
+                hits = [cache.lookup(addr) for addr in batch]
+                for addr, hit in zip(batch, hits):
+                    if not hit:
+                        cache.insert(addr)
+            return cache
+
+        flat, ref = run_flat(), run_reference()
+        assert (flat.hits, flat.misses, flat.evictions) == (
+            ref.hits, ref.misses, ref.evictions,
+        )
+        assert flat.hit_rate > 0.9  # the sweep really is hit-dominated
+        vec = _best_of(run_flat)
+        refw = _best_of(run_reference)
+        _record_kernel(
+            "cache_batched_access_lines", vec, refw,
+            f"{len(batches)} sweeps of 256 lines, 32KB/4-way, "
+            f"hit rate {flat.hit_rate:.3f}",
+        )
+
+
+class TestKernelEngine:
+    @staticmethod
+    def _storm(engine, fanout=1000):
+        def emit(depth):
+            if depth < 3:
+                for _ in range(2):
+                    engine.after(0, lambda: emit(depth + 1))
+                engine.after(1, lambda: emit(3))
+
+        for i in range(fanout):
+            engine.at(i % 7, lambda: emit(0))
+
+    def test_coalesced_vs_legacy_drain_loop(self):
+        """The same-cycle coalescing drain loop vs the per-event legacy
+        loop (the ``max_events`` path) on a tie-heavy event storm."""
+        def run(max_events):
+            engine = Engine()
+            self._storm(engine)
+            executed = engine.run(max_events=max_events)
+            return executed, engine.now
+
+        assert run(None) == run(10_000_000)
+        vec = _best_of(lambda: run(None))
+        ref = _best_of(lambda: run(10_000_000))
+        _record_kernel(
+            "engine_coalesced_drain", vec, ref,
+            "tie-heavy synthetic storm, coalesced vs per-event drain",
+        )
+
+
+class TestEndToEndCell:
+    def test_cell_lj_4cl_shogun(self, scale):
+        graph = load_dataset("lj", scale=scale)
+        schedule = benchmark_schedule("4cl")
+        config = eval_config()
+
+        def run():
+            return simulate(graph, schedule, policy="shogun", config=config)
+
+        metrics = run()
+        assert metrics.matches > 0
+        wall = _best_of(run, repeats=3)
+        RESULTS["cells"]["lj:4cl:shogun"] = {
+            "scale": scale,
+            "wall_s": wall,
+            "cycles": metrics.cycles,
+            "matches": metrics.matches,
+            "tasks_executed": metrics.tasks_executed,
+        }
+
+
+def test_zz_emit_and_gate(scale):
+    """Aggregate, write ``BENCH_kernels.json``, and gate cell walls against
+    the committed baseline (name sorts last so every record exists)."""
+    assert RESULTS["kernels"] and RESULTS["cells"], "kernel tests did not run"
+    calibration = _calibration_wall()
+    payload = {
+        "scale": scale,
+        "calibration_s": calibration,
+        "kernels": RESULTS["kernels"],
+        "cells": RESULTS["cells"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if os.environ.get("REPRO_UPDATE_BENCH_BASELINE") == "1":
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        pytest.skip(f"baseline rewritten at {BASELINE_PATH}")
+    if os.environ.get("REPRO_BENCH_GATE") == "0":
+        pytest.skip("regression gate disabled via REPRO_BENCH_GATE=0")
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed baseline to gate against")
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    if baseline.get("scale") != scale:
+        pytest.skip(
+            f"baseline recorded at scale {baseline.get('scale')}, "
+            f"current run at {scale}"
+        )
+    # Rescale baseline walls by relative machine speed before comparing.
+    speed_ratio = calibration / baseline["calibration_s"]
+    failures = []
+    for cell, current in RESULTS["cells"].items():
+        before = baseline["cells"].get(cell)
+        if before is None:
+            continue
+        allowed = before["wall_s"] * speed_ratio * REGRESSION_LIMIT
+        if current["wall_s"] > allowed:
+            failures.append(
+                f"{cell}: {current['wall_s']:.3f}s > allowed {allowed:.3f}s "
+                f"(baseline {before['wall_s']:.3f}s × speed {speed_ratio:.2f} "
+                f"× {REGRESSION_LIMIT})"
+            )
+    assert not failures, "cell wall-clock regression:\n" + "\n".join(failures)

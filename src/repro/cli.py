@@ -6,6 +6,7 @@ Usage (also via ``python -m repro``)::
     repro count --dataset wi --pattern 4cl          # exact software count
     repro count --edge-list g.txt --pattern tc      # your own graph
     repro simulate --dataset wi --pattern 4cl --policy shogun fingers
+    repro profile --dataset lj --pattern 4cl --top 15 --json prof.json
     repro experiment figure9 table2 --jobs 4        # regenerate artifacts
     repro cache info                                # persistent result cache
     repro cache clear
@@ -62,6 +63,25 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--width", type=int, default=None, help="override execution width")
     sim.add_argument("--splitting", action="store_true", help="enable task-tree splitting")
     sim.add_argument("--merging", action="store_true", help="enable search-tree merging")
+
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one simulated cell and report hotspots (docs/performance.md)",
+    )
+    _add_graph_args(profile)
+    profile.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
+    profile.add_argument("--policy", default="shogun", choices=sorted(POLICIES))
+    profile.add_argument(
+        "--top", type=int, default=20, help="number of hotspot rows to report"
+    )
+    profile.add_argument(
+        "--sort", default="cumulative", choices=("cumulative", "tottime"),
+        help="hotspot ranking key",
+    )
+    profile.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the hotspot table as JSON",
+    )
 
     experiment = sub.add_parser(
         "experiment",
@@ -179,6 +199,61 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    import cProfile
+    import json
+    import pstats
+
+    graph = _load_graph(args)
+    schedule = benchmark_schedule(args.pattern)
+    config = eval_config()
+    profiler = cProfile.Profile()
+    start = time.time()
+    profiler.enable()
+    metrics = simulate(graph, schedule, policy=args.policy, config=config)
+    profiler.disable()
+    elapsed = time.time() - start
+    print(metrics.summary())
+    print(f"instrumented wall: {elapsed:.3f}s "
+          "(cProfile overhead included; compare profiled runs only with "
+          "profiled runs — see docs/performance.md)")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.json:
+        key = 3 if args.sort == "cumulative" else 2
+        rows = sorted(
+            stats.stats.items(), key=lambda item: item[1][key], reverse=True
+        )[: args.top]
+        payload = {
+            "graph": args.dataset or args.edge_list,
+            "pattern": args.pattern,
+            "policy": args.policy,
+            "scale": _resolve_scale(args) if args.dataset else None,
+            "sort": args.sort,
+            "instrumented_wall_s": elapsed,
+            "cycles": metrics.cycles,
+            "matches": metrics.matches,
+            "tasks_executed": metrics.tasks_executed,
+            "hotspots": [
+                {
+                    "function": func,
+                    "file": filename,
+                    "line": line,
+                    "ncalls": ncalls,
+                    "tottime_s": tottime,
+                    "cumtime_s": cumtime,
+                }
+                for (filename, line, func),
+                    (_, ncalls, tottime, cumtime, _) in rows
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from .orchestrator import Orchestrator, ResultCache, cache_enabled
 
@@ -220,6 +295,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": cmd_datasets,
         "count": cmd_count,
         "simulate": cmd_simulate,
+        "profile": cmd_profile,
         "experiment": cmd_experiment,
         "cache": cmd_cache,
     }

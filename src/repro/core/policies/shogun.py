@@ -39,6 +39,7 @@ class ShogunPolicy(SchedulingPolicy):
             conservative_override = pe.config.conservative_override
         self._conservative_override = conservative_override
         self._next_epoch = float(pe.config.monitor_epoch_cycles)
+        self._engine = pe.engine
 
     # ------------------------------------------------------------------
     def wants_root(self) -> bool:
@@ -53,11 +54,16 @@ class ShogunPolicy(SchedulingPolicy):
         self.tree.add_root(vertex, self.pe.accel.next_tree_id())
 
     def select_task(self) -> Optional[SimTask]:
-        self._update_monitor()
-        return self.tree.select(self._conservative_now())
+        if self._engine.now >= self._next_epoch:
+            self._update_monitor()
+        override = self._conservative_override
+        return self.tree.select(
+            self.monitor.conservative if override is None else override
+        )
 
     def on_task_complete(self, task: SimTask) -> None:
-        self._update_monitor()
+        if self._engine.now >= self._next_epoch:
+            self._update_monitor()
         self.tree.on_complete(task)
         if self.merger is not None:
             self.merger.maybe_quiesce(self._conservative_now())

@@ -38,7 +38,7 @@ class TaskState(enum.Enum):
 _task_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class SimTask:
     """One schedulable task (a search-tree node) inside the simulator.
 
@@ -80,6 +80,14 @@ class SimTask:
     children_vertices: Optional[List[int]] = None
     next_child: int = 0
     live_children: int = 0
+
+    # Simulator back-pointers (hot-path bookkeeping) ----------------------
+    #: The task-tree bunch currently holding this entry.
+    bunch: Optional[object] = None
+    #: Materialized ancestor candidate sets visible to this task's
+    #: children, cached so siblings share one list instead of each child
+    #: re-walking the parent chain.
+    child_sets: Optional[List[object]] = None
 
     # ------------------------------------------------------------------
     @property

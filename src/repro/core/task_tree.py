@@ -99,6 +99,17 @@ class TaskTree:
             depth: TokenPool(config.tokens_per_depth)
             for depth in range(self.max_depth)
         }
+        # Hot-path views: token pool by depth (``None`` for leaves) and
+        # the preallocated buffer addresses per (depth, token).  Tokens
+        # minted past the preallocated count (pool resize) fall back to
+        # the buffer map.
+        self._pools: List[Optional[TokenPool]] = [
+            self.tokens[d] for d in range(self.max_depth)
+        ] + [None]
+        self._addr: List[List[int]] = [
+            [pe.buffer_map.address(d, t) for t in range(config.tokens_per_depth)]
+            for d in range(self.max_depth)
+        ]
 
         self._waiting_spawn: Dict[int, Deque[SimTask]] = {
             depth: deque() for depth in range(1, self.max_depth + 1)
@@ -130,6 +141,7 @@ class TaskTree:
             raise SimulationError("no idle depth-0 bunch for a new root")
         task = SimTask(depth=0, vertex=vertex, embedding=(vertex,), parent=None, tree=tree_id)
         task.state = TaskState.READY
+        task.bunch = bunch
         bunch.in_use = True
         bunch.tree = tree_id
         bunch.parent = None
@@ -178,6 +190,7 @@ class TaskTree:
             else:
                 task.children_vertices = list(children)
             task.state = TaskState.RESTING
+            task.bunch = bunch
             bunch.in_use = True
             bunch.tree = tree_id
             bunch.parent = parent
@@ -199,65 +212,82 @@ class TaskTree:
     # scheduling (Figure 7)
     # ------------------------------------------------------------------
     def select(self, conservative: bool) -> Optional[SimTask]:
-        """Pick the next task to execute, honoring tokens and the mode."""
-        for bunch in self._candidate_bunches(conservative):
-            depth = bunch.depth
-            pool = self.tokens[depth] if depth < self.max_depth else None
-            # Extended tasks reuse their entry's token; only tasks without
-            # one contend for the depth's pool (the Figure 7 valid check).
-            # With the pool drained, a token-holding entry anywhere in the
-            # bunch is still schedulable — the scheduler reads all entries
-            # of a bunch, so no head-of-line blocking.
-            task: Optional[SimTask] = None
-            if pool is None or pool.available > 0:
-                task = bunch.ready.popleft()
-            else:
-                for i, cand in enumerate(bunch.ready):
-                    if cand.token is not None:
-                        task = cand
-                        del bunch.ready[i]
-                        break
-                if task is None:
-                    self.token_stalls += 1
-                    continue
-            self._ready_total -= 1
-            task.state = TaskState.EXECUTING
-            if pool is not None and task.token is None:
-                token = pool.acquire()
-                task.token = token
-                task.set_address = self.pe.buffer_map.address(depth, token)
-            bunch.executing += 1
-            self._executing_total += 1
-            self._executing_bunch = bunch
-            self._last_bunch = bunch
-            self.tasks_scheduled += 1
-            return task
-        return None
+        """Pick the next task to execute, honoring tokens and the mode.
 
-    def _candidate_bunches(self, conservative: bool):
-        """Bunches to consider, in preference order (siblings first)."""
+        Bunches are considered in preference order (siblings of the last
+        selection first, then round-robin; conservative mode restricts to
+        the executing bunch) — the inlined equivalent of the original
+        candidate-bunch generator, kept flat because this is the single
+        hottest scheduler entry point.
+        """
+        if not self._ready_total:
+            return None
+        quiesced = self._quiesced_trees
         if conservative and self._executing_total > 0:
             bunch = self._executing_bunch
-            if (
-                bunch is not None
-                and bunch.ready
-                and bunch.tree not in self._quiesced_trees
-            ):
-                yield bunch
-            return
+            if bunch is not None and bunch.ready and bunch.tree not in quiesced:
+                return self._schedule_from(bunch)
+            return None
         last = self._last_bunch
-        if last is not None and last.ready and last.tree not in self._quiesced_trees:
-            yield last
-        n = len(self._all_bunches)
+        if last is not None and last.ready and last.tree not in quiesced:
+            task = self._schedule_from(last)
+            if task is not None:
+                return task
+        all_bunches = self._all_bunches
+        n = len(all_bunches)
         start = self._rr_cursor
         for offset in range(n):
-            bunch = self._all_bunches[(start + offset) % n]
+            bunch = all_bunches[(start + offset) % n]
             if bunch is last or not bunch.ready:
                 continue
-            if bunch.tree in self._quiesced_trees:
+            if bunch.tree in quiesced:
                 continue
             self._rr_cursor = (start + offset + 1) % n
-            yield bunch
+            task = self._schedule_from(bunch)
+            if task is not None:
+                return task
+        return None
+
+    def _schedule_from(self, bunch: Bunch) -> Optional[SimTask]:
+        """Schedule one Ready task out of ``bunch`` (``None`` = token stall).
+
+        Extended tasks reuse their entry's token; only tasks without one
+        contend for the depth's pool (the Figure 7 valid check).  With the
+        pool drained, a token-holding entry anywhere in the bunch is still
+        schedulable — the scheduler reads all entries of a bunch, so no
+        head-of-line blocking.
+        """
+        depth = bunch.depth
+        pool = self._pools[depth]
+        if pool is None or pool._free:
+            task = bunch.ready.popleft()
+        else:
+            task = None
+            for i, cand in enumerate(bunch.ready):
+                if cand.token is not None:
+                    task = cand
+                    del bunch.ready[i]
+                    break
+            if task is None:
+                self.token_stalls += 1
+                return None
+        self._ready_total -= 1
+        task.state = TaskState.EXECUTING
+        if pool is not None and task.token is None:
+            token = pool.acquire()
+            task.token = token
+            addrs = self._addr[depth]
+            task.set_address = (
+                addrs[token]
+                if token < len(addrs)
+                else self.pe.buffer_map.address(depth, token)
+            )
+        bunch.executing += 1
+        self._executing_total += 1
+        self._executing_bunch = bunch
+        self._last_bunch = bunch
+        self.tasks_scheduled += 1
+        return task
 
     # ------------------------------------------------------------------
     # completion, spawning, extending (Figures 5/6)
@@ -274,8 +304,13 @@ class TaskTree:
             self._extend_or_idle(task, bunch)
 
     def _bunch_of(self, task: SimTask) -> Bunch:
-        # Children live in the bunch whose parent is task.parent; roots
-        # live in depth-0 bunches keyed by tree.
+        # Every entry records its bunch when installed; fall back to the
+        # structural scan (children live in the bunch whose parent is
+        # task.parent; roots in depth-0 bunches keyed by tree) for tasks
+        # built outside the normal intake paths.
+        bunch = task.bunch
+        if bunch is not None and bunch.in_use:
+            return bunch
         for bunch in self.bunches[task.depth]:
             if bunch.in_use and (
                 (task.parent is None and bunch.tree == task.tree and bunch.parent is None)
@@ -299,23 +334,29 @@ class TaskTree:
         bunch.in_use = True
         bunch.parent = parent
         bunch.tree = parent.tree
-        count = min(bunch.capacity, parent.unexplored)
+        vertices = parent.children_vertices
+        first = parent.next_child
+        count = min(bunch.capacity, len(vertices) - first)
         if count <= 0:
             raise SimulationError("spawning with no unexplored candidates")
-        for _ in range(count):
-            position = parent.next_child
-            v = parent.take_next_child()
+        depth = bunch.depth
+        tree = parent.tree
+        embedding = parent.embedding
+        ready_append = bunch.ready.append
+        for position in range(first, first + count):
+            v = vertices[position]
             child = SimTask(
-                depth=bunch.depth,
+                depth=depth,
                 vertex=v,
-                embedding=parent.embedding + (v,),
+                embedding=embedding + (v,),
                 parent=parent,
-                tree=parent.tree,
+                tree=tree,
                 child_index=position,
             )
-            child.state = TaskState.READY
-            bunch.ready.append(child)
-            self._ready_total += 1
+            child.bunch = bunch
+            ready_append(child)
+        parent.next_child = first + count
+        self._ready_total += count
         bunch.active = count
 
     def _extend_or_idle(self, task: SimTask, bunch: Bunch) -> None:
@@ -323,7 +364,8 @@ class TaskTree:
         parent = task.parent
         if parent is not None and parent.unexplored > 0:
             position = parent.next_child
-            v = parent.take_next_child()
+            parent.next_child = position + 1
+            v = parent.children_vertices[position]
             extended = SimTask(
                 depth=task.depth,
                 vertex=v,
@@ -335,7 +377,7 @@ class TaskTree:
             # Entry and address token are reused by the extended task.
             extended.token = task.token
             extended.set_address = task.set_address
-            extended.state = TaskState.READY
+            extended.bunch = bunch
             task.state = TaskState.IDLE
             bunch.ready.append(extended)
             self._ready_total += 1

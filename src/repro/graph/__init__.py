@@ -7,7 +7,7 @@ from .builders import (
     induced_subgraph,
     relabel_by_degree,
 )
-from .csr import GRAPH_REGION_BASE, VERTEX_BYTES, CSRGraph, empty_graph
+from .csr import GRAPH_REGION_BASE, VERTEX_BYTES, CSRGraph, NeighborArena, empty_graph
 from .datasets import DatasetSpec, dataset_codes, get_spec, load_dataset
 from .generators import (
     degree_sorted,
@@ -22,6 +22,7 @@ from .stats import GraphStats, compute_stats, degree_skewness, global_clustering
 
 __all__ = [
     "CSRGraph",
+    "NeighborArena",
     "DatasetSpec",
     "GraphStats",
     "GRAPH_REGION_BASE",

@@ -31,6 +31,36 @@ VERTEX_BYTES = 4
 GRAPH_REGION_BASE = 1 << 40
 
 
+class NeighborArena:
+    """Pre-sliced, read-only neighbor views for one CSR graph.
+
+    The hot paths of the miner and the simulator fetch the same neighbor
+    slices over and over (once per set-operation input).  Creating a
+    numpy view per call is cheap but not free; the arena materializes
+    every per-vertex slice **once** — as zero-copy views of a read-only
+    alias of ``indices`` — so a fetch is a single list index.  Read-only
+    views make the shared adjacency immune to accidental mutation by any
+    kernel downstream.
+    """
+
+    __slots__ = ("slices", "degrees")
+
+    def __init__(self, graph: "CSRGraph") -> None:
+        frozen = graph.indices.view()
+        frozen.flags.writeable = False
+        indptr = graph.indptr.tolist()
+        self.slices: List[np.ndarray] = [
+            frozen[indptr[v] : indptr[v + 1]] for v in range(graph.num_vertices)
+        ]
+        self.degrees: List[int] = graph.degrees.tolist()
+
+    def __getitem__(self, v: int) -> np.ndarray:
+        return self.slices[v]
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+
 class CSRGraph:
     """An immutable undirected simple graph in CSR form.
 
@@ -46,7 +76,7 @@ class CSRGraph:
         pass ``False`` only for arrays produced by trusted builders.
     """
 
-    __slots__ = ("indptr", "indices", "_degrees", "name")
+    __slots__ = ("indptr", "indices", "_degrees", "_arena", "name")
 
     def __init__(
         self,
@@ -60,6 +90,7 @@ class CSRGraph:
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
         self.name = name
         self._degrees = np.diff(self.indptr)
+        self._arena: "NeighborArena | None" = None
         if validate:
             self._validate()
 
@@ -124,6 +155,12 @@ class CSRGraph:
     def neighbors(self, v: int) -> np.ndarray:
         """Sorted neighbor array of vertex ``v`` (zero-copy view)."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def arena(self) -> NeighborArena:
+        """The memoized :class:`NeighborArena` of pre-built slices."""
+        if self._arena is None:
+            self._arena = NeighborArena(self)
+        return self._arena
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` exists (binary search)."""

@@ -12,10 +12,14 @@ from .naive import count_injective_maps, count_unique_subgraphs
 from .setops import (
     as_sorted_array,
     intersect,
+    intersect_bounded,
+    intersect_multi,
+    intersect_multi_reference,
     intersect_reference,
     merge_cost,
     segment_count,
     subtract,
+    subtract_bounded,
     subtract_reference,
     truncate_below,
 )
@@ -34,12 +38,16 @@ __all__ = [
     "count_matches",
     "count_unique_subgraphs",
     "intersect",
+    "intersect_bounded",
+    "intersect_multi",
+    "intersect_multi_reference",
     "intersect_reference",
     "lines_for",
     "merge_cost",
     "mine",
     "segment_count",
     "subtract",
+    "subtract_bounded",
     "subtract_reference",
     "truncate_below",
 ]

@@ -12,30 +12,66 @@ This module provides:
   divides into fixed-size segments (FINGERS-style fine-grained
   parallelism, §5.1.1 "vertex sets are divided into fine-grained segments
   by dividers; only paired segments become inputs of set operations").
+
+The binary kernels are ``searchsorted``-based rather than
+``np.intersect1d``/``np.setdiff1d``: both operands are sorted unique by
+contract, so membership of the smaller operand in the larger is a single
+binary-search sweep — no concatenate-and-sort round trip.  The batched
+variants (:func:`intersect_multi`, :func:`intersect_bounded`,
+:func:`subtract_bounded`) chain that sweep without materializing
+intermediate copies beyond the shrinking survivor array.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 EMPTY = np.empty(0, dtype=np.int64)
+EMPTY.setflags(write=False)
+
+
+def _read_only(arr: np.ndarray) -> np.ndarray:
+    """A read-only view of ``arr`` (zero-copy)."""
+    view = arr.view()
+    view.flags.writeable = False
+    return view
 
 
 def as_sorted_array(values: Sequence[int]) -> np.ndarray:
-    """Sorted, deduplicated ``int64`` array from arbitrary int values."""
-    arr = np.asarray(list(values), dtype=np.int64)
-    if len(arr) == 0:
+    """Sorted, deduplicated ``int64`` array from arbitrary int values.
+
+    Returns a **read-only** array.  ``ndarray`` inputs fast-path: an
+    already sorted-unique ``int64`` array is returned as a zero-copy
+    read-only view instead of round-tripping through ``list``.
+    """
+    if isinstance(values, np.ndarray):
+        arr = np.ascontiguousarray(values, dtype=np.int64).reshape(-1)
+        if arr.size == 0:
+            return EMPTY
+        if arr.size == 1 or bool(np.all(np.diff(arr) > 0)):
+            return _read_only(arr)
+        return _read_only(np.unique(arr))
+    items = list(values)
+    if not items:
         return EMPTY
-    return np.unique(arr)
+    return _read_only(np.unique(np.asarray(items, dtype=np.int64)))
 
 
 def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Intersection of two sorted unique arrays (sorted unique result)."""
     if len(a) == 0 or len(b) == 0:
         return EMPTY
-    return np.intersect1d(a, b, assume_unique=True)
+    if len(a) > len(b):
+        a, b = b, a
+    pos = b.searchsorted(a)
+    # Clamp the one-past-the-end positions (elements above b's maximum)
+    # onto the last slot: those elements are strictly greater than b[-1],
+    # so the equality probe below rejects them — same result as zeroing,
+    # in a single vector pass instead of mask-build + mask-assign.
+    np.minimum(pos, len(b) - 1, out=pos)
+    return a[b[pos] == a]
 
 
 def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -44,7 +80,42 @@ def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return EMPTY
     if len(b) == 0:
         return a
-    return np.setdiff1d(a, b, assume_unique=True)
+    pos = b.searchsorted(a)
+    np.minimum(pos, len(b) - 1, out=pos)
+    return a[b[pos] != a]
+
+
+def intersect_multi(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Intersection of many sorted unique arrays without extra copies.
+
+    Processes operands smallest-first so every binary-search sweep runs
+    over the shortest possible survivor array; intersection is
+    associative and commutative, so the result is identical to any
+    pairwise chaining.
+    """
+    if not arrays:
+        raise ValueError("intersect_multi needs at least one array")
+    ordered = sorted(arrays, key=len)
+    current = ordered[0]
+    for arr in ordered[1:]:
+        if len(current) == 0:
+            return EMPTY
+        current = intersect(current, arr)
+    return current
+
+
+def intersect_bounded(a: np.ndarray, b: np.ndarray, bound: int | None) -> np.ndarray:
+    """``truncate_below(intersect(a, b), bound)`` without the full merge.
+
+    The bound is applied to ``a`` *first* (a zero-copy slice), so elements
+    at or past the symmetry-breaking cut-off never enter the search sweep.
+    """
+    return intersect(truncate_below(a, bound), b)
+
+
+def subtract_bounded(a: np.ndarray, b: np.ndarray, bound: int | None) -> np.ndarray:
+    """``truncate_below(subtract(a, b), bound)`` without the full merge."""
+    return subtract(truncate_below(a, bound), b)
 
 
 def merge_cost(size_a: int, size_b: int) -> int:
@@ -96,6 +167,16 @@ def subtract_reference(a: Sequence[int], b: Sequence[int]) -> List[int]:
             out.append(int(a[i]))
         i += 1
     return out
+
+
+def intersect_multi_reference(arrays: Sequence[Sequence[int]]) -> List[int]:
+    """Left-to-right pairwise chaining; oracle for :func:`intersect_multi`."""
+    if not arrays:
+        raise ValueError("intersect_multi needs at least one array")
+    current = [int(v) for v in arrays[0]]
+    for arr in arrays[1:]:
+        current = intersect_reference(current, arr)
+    return current
 
 
 def segment_count(total_elements: int, segment_size: int) -> int:

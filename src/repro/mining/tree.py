@@ -22,12 +22,21 @@ target (clique chains reduce to ``S_d = N(v) ∩ S_{d-1}``), which is what
 gives graph mining its intermediate-data locality: sibling tasks share
 the same ancestor set as an input (§2.2, "tasks with the same parent task
 use the same intermediate results from previous depths").
+
+Hot-path notes
+--------------
+This module sits on the per-task critical path of both the miner and the
+cycle simulator, so the trace records (:class:`SetOpInput`,
+:class:`SetOp`, :class:`Expansion`) are ``NamedTuple``s (C-speed
+construction, same field API as the earlier frozen dataclasses), the
+neighbor fetches go through the graph's :class:`~..graph.csr.NeighborArena`
+(pre-built read-only slices), and ancestor recomputation is memoized per
+``(depth, relevant-prefix)`` key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,14 +46,14 @@ from ..patterns.schedule import MatchingSchedule
 from . import setops
 
 
-@dataclass(frozen=True)
-class SetOpInput:
+class SetOpInput(NamedTuple):
     """One input of a set operation.
 
     ``kind`` is ``"intermediate"`` (an ancestor candidate set, identified
     by the depth it feeds: ``ref = e`` means the candidate set computed by
-    the depth ``e - 1`` ancestor task) or ``"neighbors"`` (the adjacency of
-    data vertex ``ref``, streamed from the CSR region).
+    the depth ``e - 1`` ancestor task), ``"neighbors"`` (the adjacency of
+    data vertex ``ref``, streamed from the CSR region) or ``"spm"`` (a
+    partial result held in the PE scratchpad).
     """
 
     kind: str
@@ -52,8 +61,7 @@ class SetOpInput:
     size: int
 
 
-@dataclass(frozen=True)
-class SetOp:
+class SetOp(NamedTuple):
     """One two-input sorted-merge set operation with its accounting."""
 
     op: str  # "intersect" | "subtract" | "fetch"
@@ -69,17 +77,27 @@ class SetOp:
         return setops.merge_cost(left, right)
 
 
-@dataclass(frozen=True)
-class Expansion:
-    """Result of executing one task: the next-depth candidate set."""
+class Expansion(NamedTuple):
+    """Result of executing one task: the next-depth candidate set.
+
+    ``comparisons`` and ``neighbors`` carry accounting that
+    :meth:`SearchContext.expand` precomputes while building ``ops`` (the
+    simulator reads them once per task); when an ``Expansion`` is built
+    by hand with only the first three fields, the properties fall back to
+    deriving the same values from ``ops``.
+    """
 
     candidates: np.ndarray
     ops: Tuple[SetOp, ...]
     reused_depth: Optional[int]
+    comparisons: Optional[int] = None
+    neighbors: Optional[Tuple[SetOpInput, ...]] = None
 
     @property
     def total_comparisons(self) -> int:
         """Total merge comparisons across all ops of this expansion."""
+        if self.comparisons is not None:
+            return self.comparisons
         return sum(op.comparisons for op in self.ops)
 
     @property
@@ -95,6 +113,8 @@ class Expansion:
     @property
     def neighbor_inputs(self) -> List[SetOpInput]:
         """The neighbor-set inputs (CSR / graph-region traffic)."""
+        if self.neighbors is not None:
+            return list(self.neighbors)
         out = []
         for op in self.ops:
             for inp in (op.left, op.right):
@@ -112,14 +132,27 @@ class SearchContext:
     parent-child relationship are independent).
     """
 
+    #: Bound on the ancestor-recomputation memo (entries, then cleared).
+    RECOMPUTE_MEMO_LIMIT = 8192
+
     def __init__(self, graph: CSRGraph, schedule: MatchingSchedule) -> None:
         self.graph = graph
         self.schedule = schedule
+        self._nbr = graph.arena().slices
         # Precompute, per target depth, the deepest reusable ancestor depth
         # and the residual intersect / subtract depth lists.
         self._plan: List[Tuple[Optional[int], Tuple[int, ...], Tuple[int, ...]]] = []
         for d in range(schedule.depth):
             self._plan.append(self._make_plan(d))
+        # Per depth: embedding positions that can appear in the candidate
+        # set.  A position in connected[d] is auto-excluded (no vertex is
+        # its own neighbor), so only the rest need the used-vertex filter.
+        self._used_positions: List[Tuple[int, ...]] = [
+            tuple(p for p in range(d) if p not in set(schedule.connected[d]))
+            for d in range(schedule.depth)
+        ]
+        self._bound_depths = schedule.upper_bound_depths
+        self._recompute_memo: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _make_plan(
@@ -191,57 +224,94 @@ class SearchContext:
             raise ScheduleError("leaf tasks have no candidate set to compute")
 
         reused_depth, residual_conn, residual_disc = self._plan[d]
+        nbr = self._nbr
         ops: List[SetOp] = []
+        neighbor_inputs: List[SetOpInput] = []
+        comparisons = 0
 
         if reused_depth is not None:
             if ancestor_sets is not None and ancestor_sets[reused_depth] is not None:
                 current = ancestor_sets[reused_depth]
             else:
                 current = self._recompute_set(embedding, reused_depth)
-            current_input = SetOpInput("intermediate", reused_depth, len(current))
+            size = len(current)
+            current_input = SetOpInput("intermediate", reused_depth, size)
             if not residual_conn and not residual_disc:
                 # The target formula equals an ancestor's: the task only
                 # re-reads that set (one streaming pass, no merge work).
-                ops.append(SetOp("fetch", current_input, None, len(current)))
+                ops.append(SetOp("fetch", current_input, None, size))
+                comparisons = size
         else:
             # Start from the first residual neighbor set.
             first = residual_conn[0]
-            nbrs = self.graph.neighbors(int(embedding[first]))
+            v = embedding[first]
+            nbrs = nbr[v]
             current = nbrs
-            current_input = SetOpInput("neighbors", int(embedding[first]), len(nbrs))
+            size = len(nbrs)
+            current_input = SetOpInput("neighbors", int(v), size)
+            neighbor_inputs.append(current_input)
             residual_conn = residual_conn[1:]
             if not residual_conn and not residual_disc:
                 # Pure fetch (e.g. the root task: S0 = N(u0)).
-                ops.append(SetOp("fetch", current_input, None, len(current)))
+                ops.append(SetOp("fetch", current_input, None, size))
+                comparisons = size
 
+        size = len(current)
         for e in residual_conn:
-            nbrs = self.graph.neighbors(int(embedding[e]))
-            rhs = SetOpInput("neighbors", int(embedding[e]), len(nbrs))
+            v = embedding[e]
+            nbrs = nbr[v]
+            rhs = SetOpInput("neighbors", int(v), len(nbrs))
+            neighbor_inputs.append(rhs)
             out = setops.intersect(current, nbrs)
-            ops.append(SetOp("intersect", current_input, rhs, len(out)))
+            comparisons += size + len(nbrs)
+            size = len(out)
+            ops.append(SetOp("intersect", current_input, rhs, size))
             current = out
             # Partial results live in the PE scratchpad, not the L1
             # intermediate-result region, hence the distinct kind.
-            current_input = SetOpInput("spm", d, len(out))
+            current_input = SetOpInput("spm", d, size)
         for e in residual_disc:
-            nbrs = self.graph.neighbors(int(embedding[e]))
-            rhs = SetOpInput("neighbors", int(embedding[e]), len(nbrs))
+            v = embedding[e]
+            nbrs = nbr[v]
+            rhs = SetOpInput("neighbors", int(v), len(nbrs))
+            neighbor_inputs.append(rhs)
             out = setops.subtract(current, nbrs)
-            ops.append(SetOp("subtract", current_input, rhs, len(out)))
+            comparisons += size + len(nbrs)
+            size = len(out)
+            ops.append(SetOp("subtract", current_input, rhs, size))
             current = out
-            current_input = SetOpInput("spm", d, len(out))
+            current_input = SetOpInput("spm", d, size)
 
-        return Expansion(candidates=current, ops=tuple(ops), reused_depth=reused_depth)
+        return Expansion(
+            current, tuple(ops), reused_depth, comparisons, tuple(neighbor_inputs)
+        )
 
     def _recompute_set(self, embedding: Sequence[int], e: int) -> np.ndarray:
-        """Recompute the candidate set for depth ``e`` from neighbor sets."""
+        """Recompute the candidate set for depth ``e`` from neighbor sets.
+
+        Memoized per ``(e, relevant embedding prefix)``: sibling and
+        repeat expansions (partition intake, merging, ancestor-free
+        calls) share one materialization instead of re-running the merge
+        chain.  The memo holds read-only arrays, so sharing is safe.
+        """
         conn = self.schedule.connected[e]
-        current = self.graph.neighbors(int(embedding[conn[0]]))
-        for f in conn[1:]:
-            current = setops.intersect(current, self.graph.neighbors(int(embedding[f])))
-        if self.schedule.induced:
-            for f in self.schedule.disconnected[e]:
-                current = setops.subtract(current, self.graph.neighbors(int(embedding[f])))
+        induced = self.schedule.induced
+        disc = self.schedule.disconnected[e] if induced else ()
+        key = (e, tuple(int(embedding[f]) for f in conn + tuple(disc)))
+        memo = self._recompute_memo
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        nbr = self._nbr
+        current = setops.intersect_multi([nbr[embedding[f]] for f in conn])
+        for f in disc:
+            current = setops.subtract(current, nbr[embedding[f]])
+        if current.flags.writeable:
+            current = current.view()
+            current.flags.writeable = False
+        if len(memo) >= self.RECOMPUTE_MEMO_LIMIT:
+            memo.clear()
+        memo[key] = current
         return current
 
     def children(
@@ -255,10 +325,26 @@ class SearchContext:
         candidate vertices.
         """
         d = len(embedding)
-        bound = self.schedule.bound_for(embedding, d)
-        kept = setops.truncate_below(candidates, bound)
-        used = set(int(v) for v in embedding)
-        return [int(v) for v in kept if int(v) not in used]
+        depths = self._bound_depths[d]
+        if depths and len(candidates):
+            bound = min(int(embedding[i]) for i in depths)
+            kept = candidates[: int(np.searchsorted(candidates, bound, side="left"))]
+        else:
+            kept = candidates
+        out = kept.tolist()
+        check = self._used_positions[d]
+        if not check or not out:
+            return out
+        drop = None
+        for p in check:
+            v = int(embedding[p])
+            i = int(np.searchsorted(kept, v))
+            if i < len(out) and out[i] == v:
+                drop = i if drop is None else drop
+                out[i] = None
+        if drop is None:
+            return out
+        return [x for x in out if x is not None]
 
     def is_leaf_depth(self, depth: int) -> bool:
         """Whether ``depth`` is the final search depth (no spawning)."""

@@ -24,7 +24,7 @@ from ..core.policies.parallel_dfs import ParallelDFSPolicy
 from ..core.policies.shogun import ShogunPolicy
 from ..core.splitting import apportion_helpers
 from ..errors import SimulationError
-from ..graph.csr import CSRGraph
+from ..graph.csr import GRAPH_REGION_BASE, VERTEX_BYTES, CSRGraph
 from ..mining.tree import SearchContext
 from ..patterns.schedule import MatchingSchedule
 from .config import DEFAULT_CONFIG, SimConfig
@@ -72,11 +72,22 @@ class Accelerator:
         self.engine = Engine()
         self.memory = MemorySystem(config)
         self.context = SearchContext(graph, schedule)
+        # Per-vertex L2 line span of each neighbor set, precomputed once:
+        # neighbor inputs always cover the full adjacency, so the PEs can
+        # turn a vertex id into its line range without re-deriving byte
+        # addresses per fetch.  Entries of degree-0 vertices are unused.
+        line = config.cache_line_bytes
+        base_addrs = GRAPH_REGION_BASE + graph.indptr[:-1] * VERTEX_BYTES
+        self.graph_first_line: List[int] = (base_addrs // line).tolist()
+        self.graph_last_line: List[int] = (
+            (base_addrs + graph.degrees * VERTEX_BYTES - 1) // line
+        ).tolist()
         factory = policy_factory(policy)
         self.pes: List[PE] = [PE(i, self, factory) for i in range(config.num_pes)]
         self._roots: Deque[int] = deque()
         self._pe_roots: List[Deque[int]] = [deque() for _ in self.pes]
-        if config.root_dispatch == "static":
+        self._static_dispatch = config.root_dispatch == "static"
+        if self._static_dispatch:
             # Deal roots round-robin: with vertices renumbered by
             # descending degree, heavy trees spread evenly across PEs.
             for v in self.context.roots():
@@ -107,10 +118,18 @@ class Accelerator:
 
     def feed_roots(self, pe: PE) -> None:
         """Hand root vertices to a PE while it can accept them."""
-        queue = self._pe_roots[pe.pe_id] if self.config.root_dispatch == "static" else self._roots
-        while queue and pe.policy.wants_root():
-            pe.policy.add_root(queue.popleft())
-            self._undispatched -= 1
+        queue = self._pe_roots[pe.pe_id] if self._static_dispatch else self._roots
+        if not queue:
+            return
+        policy = pe.policy
+        wants_root = policy.wants_root
+        add_root = policy.add_root
+        fed = 0
+        while queue and wants_root():
+            add_root(queue.popleft())
+            fed += 1
+        if fed:
+            self._undispatched -= fed
 
     def footprint_add(self, num_bytes: int) -> None:
         """Track a newly live candidate set."""

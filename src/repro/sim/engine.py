@@ -39,7 +39,8 @@ class Engine:
         """Schedule ``callback`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.at(self.now + delay, callback)
+        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
+        self._seq += 1
 
     def pending(self) -> int:
         """Number of queued events."""
@@ -51,20 +52,41 @@ class Engine:
         Stops when the queue empties, the clock passes ``until``, or
         ``max_events`` have run (whichever first).  Callbacks may schedule
         further events.
+
+        The drain loop *coalesces* same-cycle events: the clock is
+        advanced once per distinct timestamp and every event carrying that
+        timestamp — including ones a callback schedules for the current
+        cycle — runs in an inner loop, in stable ``(time, seq)`` order.
+        Ties therefore execute exactly as they were scheduled, the clock
+        jumps straight across idle gaps between timestamps, and the
+        per-event ``until`` comparison drops out of the common path.
         """
         executed = 0
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                time, _, callback = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                self.now = time
-                callback()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if max_events is None:
+                while queue:
+                    time = queue[0][0]
+                    if until is not None and time > until:
+                        break
+                    self.now = time
+                    while queue and queue[0][0] == time:
+                        callback = heappop(queue)[2]
+                        callback()
+                        executed += 1
+            else:
+                while queue:
+                    time, _, callback = queue[0]
+                    if until is not None and time > until:
+                        break
+                    heappop(queue)
+                    self.now = time
+                    callback()
+                    executed += 1
+                    if executed >= max_events:
+                        break
         finally:
             self._running = False
         return executed

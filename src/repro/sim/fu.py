@@ -38,17 +38,55 @@ class IUPool:
         Dividers form segments at ``num_dividers`` per cycle before IUs
         can start.  Returns the completion time of the last segment; zero
         segments complete immediately (a pure-fetch task).
+
+        When every server is already free at ``formed`` (the common case —
+        task issue is spread out relative to segment service), the FCFS
+        pop/push loop degenerates to round-robin: with ``k`` servers and
+        ``m`` segments, ``m % k`` servers run ``m // k + 1`` back-to-back
+        segments and the rest one fewer, every finish time being the
+        repeated sum ``formed + c + c + ...`` the loop would compute.  The
+        fast path writes that final server state directly (a sorted list
+        is a valid min-heap); the heap loop remains for the contended
+        case and as the oracle in ``tests/test_sim_fu.py``.
         """
         if segments <= 0:
             return ready_time
         formed = ready_time + segments / self.num_dividers
-        finish = formed
-        for _ in range(segments):
-            start = max(heapq.heappop(self._server_free), formed)
-            done = start + self.segment_cycles
-            heapq.heappush(self._server_free, done)
-            finish = max(finish, done)
-        self.busy_cycles += segments * self.segment_cycles
+        servers = self._server_free
+        c = self.segment_cycles
+        if max(servers) <= formed:
+            k = self.num_ius
+            q, r = divmod(segments, k)
+            if q == 0:
+                # Only the `segments` least-loaded servers are touched.
+                done = formed + c
+                servers.sort()
+                self._server_free = servers[segments:] + [done] * segments
+                finish = done
+            else:
+                # Chain values by repeated addition, exactly as the
+                # pop/push loop would accumulate them.
+                done = formed
+                for _ in range(q):
+                    done = done + c
+                if r:
+                    finish = done + c
+                    self._server_free = [done] * (k - r) + [finish] * r
+                else:
+                    finish = done
+                    self._server_free = [done] * k
+        else:
+            finish = formed
+            heappop = heapq.heappop
+            heappush = heapq.heappush
+            for _ in range(segments):
+                free = heappop(servers)
+                start = free if free >= formed else formed
+                done = start + c
+                heappush(servers, done)
+                if done > finish:
+                    finish = done
+        self.busy_cycles += segments * c
         self.segments_processed += segments
         return finish
 

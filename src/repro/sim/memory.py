@@ -6,18 +6,47 @@ L2 backs the L1s and holds the CSR graph data (streamed, never in L1);
 DRAM sits behind the L2.  This module provides:
 
 * :class:`Cache` — a functional set-associative LRU cache at line
-  granularity (used for both L1 and L2),
+  granularity (used for both L1 and L2), stored as flattened per-set
+  numpy tag / LRU-stamp arrays with a batched :meth:`Cache.access_lines`
+  API,
+* :class:`ReferenceCache` — the original insertion-ordered-dict model,
+  kept as the oracle for the trace-equivalence tests,
 * :class:`Scratchpad` — an occupancy counter gating in-flight task data,
 * :class:`MemorySystem` — the latency/accounting layer combining the
   caches, the NoC hop and the DRAM channel queues, with per-PE average
   L1-latency tracking feeding the conservative-mode monitor (§3.2.3:
   "the L1 cache thrashing is judged by the average cache access
   latency").
+
+LRU-stamp equivalence
+---------------------
+The flattened cache replaces per-set insertion-ordered dicts with a
+monotonic access counter: every hit or insert stamps the touched way with
+the next tick, and the eviction victim is the way with the smallest
+stamp.  Stamps are unique, so min-stamp selection reproduces the ordered
+dict's "first key = LRU" victim exactly; lookup misses leave recency
+untouched in both models.  ``tests/test_sim_memory.py`` drives both
+implementations over recorded random traces and asserts identical
+hit/miss/eviction sequences.
+
+Hot-path notes
+--------------
+``fetch_intermediate`` / ``fetch_graph`` run once per set-operation input
+of every simulated task, with tiny batches (the average neighbor set
+spans one or two cache lines).  The loops therefore shadow the cache's
+tick/stat counters and bank-queue list in locals and inline the hit path
+(one dict probe + one stamp store), falling back to the full-fat
+``insert`` machinery only on the rare miss.  All arithmetic keeps the
+exact per-line expressions of the original model — ``latency = back -
+issue``, ``done = max(done, issue + latency)``, sequential bank/channel
+booking — so every accounted metric is bit-identical.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..errors import ConfigError, SimulationError
 from .config import SimConfig
@@ -26,7 +55,157 @@ from .noc import NoC
 
 
 class Cache:
-    """Functional set-associative LRU cache at cache-line granularity."""
+    """Functional set-associative LRU cache at cache-line granularity.
+
+    Contents live in flat numpy arrays: way ``w`` of set ``s`` is slot
+    ``s * assoc + w`` in ``_tags`` (resident line address, ``-1`` empty)
+    and ``_stamps`` (last-touch tick).  ``_where`` maps resident line
+    address → slot for O(1) probes.
+    """
+
+    __slots__ = (
+        "name",
+        "assoc",
+        "num_sets",
+        "line_bytes",
+        "_tags",
+        "_stamps",
+        "_fill",
+        "_where",
+        "_tick",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int, name: str = "cache") -> None:
+        if size_bytes <= 0 or assoc < 1 or line_bytes <= 0:
+            raise ConfigError("invalid cache geometry")
+        lines = size_bytes // line_bytes
+        if lines < assoc:
+            raise ConfigError(f"{name}: fewer lines ({lines}) than ways ({assoc})")
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = max(1, lines // assoc)
+        self.line_bytes = line_bytes
+        self._tags = np.full(self.num_sets * assoc, -1, dtype=np.int64)
+        self._stamps = np.zeros(self.num_sets * assoc, dtype=np.int64)
+        self._fill: List[int] = [0] * self.num_sets
+        self._where: Dict[int, int] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, line_addr: int) -> bool:
+        """Access a line: returns hit/miss and refreshes LRU order."""
+        slot = self._where.get(line_addr)
+        if slot is not None:
+            self._stamps[slot] = self._tick
+            self._tick += 1
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, line_addr: int) -> bool:
+        """Presence check without touching LRU state or stats."""
+        return line_addr in self._where
+
+    def insert(self, line_addr: int) -> Optional[int]:
+        """Fill a line, returning the evicted line address (or ``None``)."""
+        where = self._where
+        slot = where.get(line_addr)
+        if slot is not None:
+            self._stamps[slot] = self._tick
+            self._tick += 1
+            return None
+        set_idx = int(line_addr) % self.num_sets
+        base = set_idx * self.assoc
+        evicted = None
+        fill = self._fill[set_idx]
+        if fill < self.assoc:
+            slot = base + fill
+            self._fill[set_idx] = fill + 1
+        else:
+            # Victim = smallest stamp in the set (stamps are unique).
+            rel = int(self._stamps[base : base + self.assoc].argmin())
+            slot = base + rel
+            evicted = int(self._tags[slot])
+            del where[evicted]
+            self.evictions += 1
+        self._tags[slot] = line_addr
+        self._stamps[slot] = self._tick
+        self._tick += 1
+        where[line_addr] = slot
+        return evicted
+
+    # ------------------------------------------------------------------
+    # batched variants
+    # ------------------------------------------------------------------
+    def access_lines(self, line_addrs: Sequence[int]) -> np.ndarray:
+        """Batched :meth:`lookup` over **distinct** line addresses.
+
+        Returns the boolean hit mask.  Hit ways are stamped in batch
+        order with consecutive ticks, so the resulting LRU state equals a
+        sequential lookup sweep; stats update identically.  Duplicate
+        addresses within one batch are not supported (a duplicate's
+        second access could flip from miss to hit mid-batch) — callers
+        with possibly-duplicated batches use sequential :meth:`lookup`.
+        """
+        n = len(line_addrs)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        addrs = np.asarray(line_addrs, dtype=np.int64)
+        sets = addrs % self.num_sets
+        ways = self._tags.reshape(self.num_sets, self.assoc)[sets]
+        hit_ways = ways == addrs[:, None]
+        mask = hit_ways.any(axis=1)
+        slots = (sets * self.assoc + hit_ways.argmax(axis=1))[mask]
+        nh = int(len(slots))
+        if nh:
+            self._stamps[slots] = np.arange(self._tick, self._tick + nh, dtype=np.int64)
+            self._tick += nh
+        self.hits += nh
+        self.misses += n - nh
+        return mask
+
+    def insert_lines(self, line_addrs: Sequence[int]) -> List[int]:
+        """Batched :meth:`insert`; returns the evicted line addresses."""
+        insert = self.insert
+        out: List[int] = []
+        for addr in line_addrs:
+            evicted = insert(addr)
+            if evicted is not None:
+                out.append(evicted)
+        return out
+
+    def invalidate_all(self) -> None:
+        """Drop all contents (used between independent simulations)."""
+        self._tags.fill(-1)
+        self._stamps.fill(0)
+        self._fill = [0] * self.num_sets
+        self._where.clear()
+        self._tick = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups (0.0 when never accessed)."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class ReferenceCache:
+    """Insertion-ordered-dict LRU cache: the original (slow) model.
+
+    Retained verbatim as the oracle for the flattened :class:`Cache`'s
+    trace-equivalence tests; not used by the simulator hot path.
+    """
 
     def __init__(self, size_bytes: int, assoc: int, line_bytes: int, name: str = "cache") -> None:
         if size_bytes <= 0 or assoc < 1 or line_bytes <= 0:
@@ -97,6 +276,8 @@ class Cache:
 class Scratchpad:
     """Per-PE SPM occupancy: lines reserved by in-flight tasks."""
 
+    __slots__ = ("capacity", "used", "peak")
+
     def __init__(self, capacity_lines: int) -> None:
         if capacity_lines < 1:
             raise ConfigError("scratchpad needs at least one line")
@@ -132,6 +313,8 @@ class PELatencyWindow:
     per-access decay tracks thrashing onset quickly and recovers when the
     access pattern calms down, without storing per-epoch histograms.
     """
+
+    __slots__ = ("alpha", "value", "samples", "total_latency")
 
     def __init__(self, alpha: float = 0.02, initial: float = 2.0) -> None:
         self.alpha = alpha
@@ -172,6 +355,7 @@ class MemorySystem:
         )
         self.l1_windows = [PELatencyWindow(initial=float(config.l1_hit_cycles)) for _ in range(pes)]
         self._l2_bank_free = [0.0] * max(1, config.l2_banks)
+        self._l1_hit_cycles_f = float(config.l1_hit_cycles)
         self.graph_line_fetches = 0
         self.intermediate_line_fetches = 0
 
@@ -223,34 +407,125 @@ class MemorySystem:
         stream of hot one-line reads.
         """
         l1 = self.l1s[pe_id]
+        where_get = l1._where.get
+        stamps = l1._stamps
+        tick = l1._tick
+        hits = 0
+        config = self.config
+        ports = config.fetch_ports
+        l1_hit = float(config.l1_hit_cycles)
+        hop = self.noc.hop_cycles
         window = self.l1_windows[pe_id] if record_window else None
+        record = window.record if window is not None else None
         done = now
+        n = 0
         for i, addr in enumerate(line_addrs):
-            issue = now + i // self.config.fetch_ports
-            if l1.lookup(addr):
-                latency = float(self.config.l1_hit_cycles)
+            issue = now + i // ports
+            slot = where_get(addr)
+            if slot is not None:
+                stamps[slot] = tick
+                tick += 1
+                hits += 1
+                latency = l1_hit
             else:
-                arrive_l2 = issue + self.config.l1_hit_cycles + self.noc.memory_hop()
-                back = self._l2_access(addr, arrive_l2) + self.noc.memory_hop()
+                # Miss path (rare): hand back to the full-fat machinery,
+                # keeping the shadowed tick coherent across the insert.
+                l1.misses += 1
+                l1._tick = tick
+                arrive_l2 = issue + config.l1_hit_cycles + hop
+                back = self._l2_access(addr, arrive_l2) + hop
                 evicted = l1.insert(addr)
                 if evicted is not None:
                     self.l2.insert(evicted)
+                tick = l1._tick
                 latency = back - issue
-            if window is not None:
-                window.record(latency)
-            self.intermediate_line_fetches += 1
-            done = max(done, issue + latency)
+            if record is not None:
+                record(latency)
+            n += 1
+            finish = issue + latency
+            if finish > done:
+                done = finish
+        l1._tick = tick
+        l1.hits += hits
+        self.intermediate_line_fetches += n
         return done
 
+    def fetch_intermediate_line(self, pe_id: int, line_addr: int, now: float) -> float:
+        """One-line :meth:`fetch_intermediate` with ``record_window=False``.
+
+        The task-tree vertex fetch touches exactly one line of the
+        parent's candidate set on every task start, so this path skips
+        the batch loop.  The arithmetic mirrors the batch path for a
+        single line at issue position 0 (``issue = now + 0``).
+        """
+        l1 = self.l1s[pe_id]
+        self.intermediate_line_fetches += 1
+        slot = l1._where.get(line_addr)
+        issue = now + 0
+        if slot is not None:
+            l1._stamps[slot] = l1._tick
+            l1._tick += 1
+            l1.hits += 1
+            latency = self._l1_hit_cycles_f
+        else:
+            l1.misses += 1
+            hop = self.noc.hop_cycles
+            arrive_l2 = issue + self.config.l1_hit_cycles + hop
+            back = self._l2_access(line_addr, arrive_l2) + hop
+            evicted = l1.insert(line_addr)
+            if evicted is not None:
+                self.l2.insert(evicted)
+            latency = back - issue
+        finish = issue + latency
+        return finish if finish > now else now
+
     def fetch_graph(self, pe_id: int, line_addrs: Sequence[int], now: float) -> float:
-        """Read CSR graph lines (L2 → DRAM path, bypassing the L1)."""
+        """Read CSR graph lines (L2 → DRAM path, bypassing the L1).
+
+        Graph batches may repeat a line (adjacent neighbor sets sharing a
+        boundary cache line), so classification stays sequential — a
+        repeat must see the LRU/bank state its predecessor left behind.
+        """
+        l2 = self.l2
+        where_get = l2._where.get
+        stamps = l2._stamps
+        tick = l2._tick
+        hits = 0
+        bank_free = self._l2_bank_free
+        nbanks = len(bank_free)
+        config = self.config
+        ports = config.fetch_ports
+        l2_hit = config.l2_hit_cycles
+        l2_service = config.l2_service_cycles
+        hop = self.noc.hop_cycles
         done = now
+        n = 0
         for i, addr in enumerate(line_addrs):
-            issue = now + i // self.config.fetch_ports
-            arrive_l2 = issue + self.noc.memory_hop()
-            back = self._l2_access(addr, arrive_l2) + self.noc.memory_hop()
-            self.graph_line_fetches += 1
-            done = max(done, back)
+            issue = now + i // ports
+            arrive = issue + hop
+            bank = int(addr) % nbanks
+            queued = bank_free[bank]
+            start = queued if queued >= arrive else arrive
+            bank_free[bank] = start + l2_service
+            slot = where_get(addr)
+            if slot is not None:
+                stamps[slot] = tick
+                tick += 1
+                hits += 1
+                back = start + l2_hit + hop
+            else:
+                l2.misses += 1
+                l2._tick = tick
+                back = self.dram.request(addr, start + l2_hit)
+                l2.insert(addr)
+                tick = l2._tick
+                back = back + hop
+            n += 1
+            if back > done:
+                done = back
+        l2._tick = tick
+        l2.hits += hits
+        self.graph_line_fetches += n
         return done
 
     def install_intermediate(self, pe_id: int, line_addrs: Sequence[int]) -> None:
@@ -261,11 +536,12 @@ class MemorySystem:
         §3.1); the write latency is folded into the task's writeback
         stage, so only the cache state changes here.
         """
-        l1 = self.l1s[pe_id]
+        l1_insert = self.l1s[pe_id].insert
+        l2_insert = self.l2.insert
         for addr in line_addrs:
-            evicted = l1.insert(addr)
+            evicted = l1_insert(addr)
             if evicted is not None:
-                self.l2.insert(evicted)
+                l2_insert(evicted)
 
     def warm_l1(self, pe_id: int, line_addrs: Sequence[int]) -> None:
         """Pre-install lines into a PE's L1 (partition-message payload)."""

@@ -71,6 +71,17 @@ class PE:
             "issue": 0.0,
             "spawn": 0.0,
         }
+        # Hot-path constants (attribute chains hoisted out of the
+        # per-task booking loop).
+        self._unit_interval = 1.0 / self.config.unit_tasks_per_cycle
+        self._post_spawn_cycles = self.config.spawn_cycles + self.config.tree_access_cycles
+        self._line_bytes = self.config.cache_line_bytes
+        self._segment_elements = self.config.segment_elements
+        self._max_depth = self.schedule.max_depth
+        # Shared empty ancestor-set list for root tasks (read-only use).
+        self._no_ancestor_sets: List[Optional[object]] = [None] * (
+            self.schedule.depth + 1
+        )
 
         self.slots_used = 0
         self.tasks_executed = 0
@@ -152,8 +163,9 @@ class PE:
         self.accel.check_done()
 
     def _enter_unit(self, name: str, at: float) -> float:
-        start = max(at, self._unit_free[name])
-        self._unit_free[name] = start + 1.0 / self.config.unit_tasks_per_cycle
+        free = self._unit_free[name]
+        start = at if at >= free else free
+        self._unit_free[name] = start + self._unit_interval
         return start
 
     # ------------------------------------------------------------------
@@ -164,24 +176,37 @@ class PE:
         self.slots_used += 1
         task.state = TaskState.EXECUTING
         now = self.engine.now
+        config = self.config
+        unit_free = self._unit_free
+        interval = self._unit_interval
+        memory = self.memory
+        engine_at = self.engine.at
 
-        t = self._enter_unit("decode", now) + self.config.decode_cycles
-        t = self._enter_unit("dispatch", t) + self.config.dispatch_cycles
+        free = unit_free["decode"]
+        start = now if now >= free else free
+        unit_free["decode"] = start + interval
+        t = start + config.decode_cycles
+        free = unit_free["dispatch"]
+        start = t if t >= free else free
+        unit_free["dispatch"] = start + interval
+        t = start + config.dispatch_cycles
 
         # Fetching this task's vertex touched one line of the parent's
         # candidate set (the Wait_Vertex step of spawning/extending);
         # consecutive siblings hit the same line — sibling locality.
-        vertex_line = self._vertex_fetch_line(task)
-        if vertex_line is not None:
-            t = self.memory.fetch_intermediate(
-                self.pe_id, [vertex_line], t, record_window=False
-            )
+        parent = task.parent
+        if parent is not None and parent.set_address is not None:
+            vertex_line = (parent.set_address + task.child_index * 4) // self._line_bytes
+            t = memory.fetch_intermediate_line(self.pe_id, vertex_line, t)
 
-        if task.depth >= self.schedule.max_depth:
+        if task.depth >= self._max_depth:
             # Leaf task: report the match, no set operation.
-            t = self._enter_unit("spawn", t + self.config.leaf_cycles)
-            t += self.config.spawn_cycles + self.config.tree_access_cycles
-            self.engine.at(t, lambda: self._complete_task(task))
+            free = unit_free["spawn"]
+            at = t + config.leaf_cycles
+            start = at if at >= free else free
+            unit_free["spawn"] = start + interval
+            t = start + self._post_spawn_cycles
+            engine_at(t, lambda: self._complete_task(task))
             return
 
         expansion = self.context.expand(task.embedding, self._ancestor_sets(task))
@@ -190,29 +215,52 @@ class PE:
         inter_lines = self._intermediate_lines(task)
         graph_lines = self._graph_lines(task)
         out_bytes = len(expansion.candidates) * 4
-        out_lines = self.memory.line_addrs(task.set_address, out_bytes) if task.set_address is not None else []
-        segments = segment_count(expansion.total_comparisons, self.config.segment_elements)
+        set_address = task.set_address
+        if set_address is not None and out_bytes > 0:
+            line_bytes = self._line_bytes
+            out_lines = list(
+                range(
+                    set_address // line_bytes,
+                    (set_address + out_bytes - 1) // line_bytes + 1,
+                )
+            )
+        else:
+            out_lines = []
+        segments = segment_count(expansion.comparisons, self._segment_elements)
 
         total_lines = len(inter_lines) + len(graph_lines) + len(out_lines)
-        rounds = max(1, -(-total_lines // self.spm_share))
-
-        for r in range(rounds):
-            ichunk = inter_lines[r::rounds]
-            gchunk = graph_lines[r::rounds]
-            schunk = segments // rounds + (1 if r < segments % rounds else 0)
-            t_inter = self.memory.fetch_intermediate(self.pe_id, ichunk, t) if ichunk else t
-            t_graph = self.memory.fetch_graph(self.pe_id, gchunk, t) if gchunk else t
-            ready = max(t_inter, t_graph)
-            ready = self._enter_unit("issue", ready) + 1.0
-            t = self.iu_pool.submit(schunk, ready)
+        if total_lines <= self.spm_share:
+            # Single round (the overwhelmingly common case): the chunk
+            # slices `x[0::1]` degenerate to the full lists.
+            t_inter = memory.fetch_intermediate(self.pe_id, inter_lines, t) if inter_lines else t
+            t_graph = memory.fetch_graph(self.pe_id, graph_lines, t) if graph_lines else t
+            ready = t_inter if t_inter >= t_graph else t_graph
+            free = unit_free["issue"]
+            start = ready if ready >= free else free
+            unit_free["issue"] = start + interval
+            t = self.iu_pool.submit(segments, start + 1.0)
+        else:
+            rounds = -(-total_lines // self.spm_share)
+            for r in range(rounds):
+                ichunk = inter_lines[r::rounds]
+                gchunk = graph_lines[r::rounds]
+                schunk = segments // rounds + (1 if r < segments % rounds else 0)
+                t_inter = memory.fetch_intermediate(self.pe_id, ichunk, t) if ichunk else t
+                t_graph = memory.fetch_graph(self.pe_id, gchunk, t) if gchunk else t
+                ready = max(t_inter, t_graph)
+                ready = self._enter_unit("issue", ready) + 1.0
+                t = self.iu_pool.submit(schunk, ready)
 
         # Writeback: the produced candidate set lands in the L1.
         if out_lines:
-            self.memory.install_intermediate(self.pe_id, [a for a in out_lines])
-            t += max(1.0, len(out_lines) / self.config.fetch_ports)
-        t = self._enter_unit("spawn", t)
-        t += self.config.spawn_cycles + self.config.tree_access_cycles
-        self.engine.at(t, lambda: self._complete_task(task))
+            memory.install_intermediate(self.pe_id, out_lines)
+            wb = len(out_lines) / config.fetch_ports
+            t += wb if wb > 1.0 else 1.0
+        free = unit_free["spawn"]
+        start = t if t >= free else free
+        unit_free["spawn"] = start + interval
+        t = start + self._post_spawn_cycles
+        engine_at(t, lambda: self._complete_task(task))
 
     def _vertex_fetch_line(self, task: SimTask) -> Optional[int]:
         """L1 line holding this task's vertex in the parent candidate set."""
@@ -229,13 +277,32 @@ class PE:
         the depth ``e - 1`` ancestor); only ancestors still holding their
         expansion contribute, which is guaranteed for the reused depth —
         its producer is Resting exactly because descendants may read it.
+
+        The list is cached on the parent (``child_sets``) and shared by
+        all siblings: an ancestor's expansion is written once, before any
+        descendant exists, and never replaced, so the walk result is
+        identical for every child.  ``expand`` only reads the list.
         """
-        sets: List[Optional[object]] = [None] * (self.schedule.depth + 1)
-        node = task.parent
-        while node is not None:
-            if node.expansion is not None:
-                sets[node.depth + 1] = node.expansion.candidates
-            node = node.parent
+        parent = task.parent
+        if parent is None:
+            return self._no_ancestor_sets
+        sets = parent.child_sets
+        if sets is None:
+            sets = self._child_sets(parent)
+        return sets
+
+    def _child_sets(self, parent: SimTask) -> List[Optional[object]]:
+        grandparent = parent.parent
+        if grandparent is None:
+            sets: List[Optional[object]] = [None] * (self.schedule.depth + 1)
+        else:
+            base = grandparent.child_sets
+            if base is None:
+                base = self._child_sets(grandparent)
+            sets = list(base)
+        if parent.expansion is not None:
+            sets[parent.depth + 1] = parent.expansion.candidates
+        parent.child_sets = sets
         return sets
 
     def _intermediate_lines(self, task: SimTask) -> List[int]:
@@ -248,17 +315,34 @@ class PE:
             raise SimulationError(
                 f"reused set of depth {expansion.reused_depth} has no address"
             )
-        size = next(
-            (inp.size for inp in expansion.intermediate_inputs), 0
+        # With a reused ancestor, the first op's left input is always that
+        # intermediate set (either the fetch or the head of the residual
+        # merge chain).
+        num_bytes = expansion.ops[0].left.size * 4
+        if num_bytes <= 0:
+            return []
+        base = producer.set_address
+        line_bytes = self._line_bytes
+        return list(
+            range(base // line_bytes, (base + num_bytes - 1) // line_bytes + 1)
         )
-        return self.memory.line_addrs(producer.set_address, size * 4)
 
     def _graph_lines(self, task: SimTask) -> List[int]:
-        """L2 line addresses of all neighbor-set inputs."""
+        """L2 line addresses of all neighbor-set inputs.
+
+        Uses the accelerator's precomputed per-vertex line spans — a
+        neighbor input always covers the vertex's whole adjacency, so its
+        lines are a fixed ``range`` known at graph-load time.  Empty
+        neighbor sets contribute no lines (``line_addrs`` of zero bytes).
+        """
+        first = self.accel.graph_first_line
+        last = self.accel.graph_last_line
         lines: List[int] = []
-        for inp in task.expansion.neighbor_inputs:
-            base = self.accel.graph.neighbor_set_address(inp.ref)
-            lines.extend(self.memory.line_addrs(base, inp.size * 4))
+        extend = lines.extend
+        for inp in task.expansion.neighbors:
+            if inp.size:
+                ref = inp.ref
+                extend(range(first[ref], last[ref] + 1))
         return lines
 
     def _complete_task(self, task: SimTask) -> None:

@@ -63,6 +63,30 @@ class TestCommands:
              "--width", "4"]
         ) == 0
 
+    def test_profile(self, tmp_path, capsys):
+        out_json = tmp_path / "prof.json"
+        assert main(
+            ["profile", "--dataset", "wi", "--scale", "0.1", "--pattern", "tc",
+             "--top", "5", "--json", str(out_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out and "instrumented wall" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["pattern"] == "tc" and payload["policy"] == "shogun"
+        assert len(payload["hotspots"]) == 5
+        top = payload["hotspots"][0]
+        assert {"function", "file", "line", "ncalls", "tottime_s", "cumtime_s"} <= set(top)
+        assert payload["matches"] > 0
+
+    def test_profile_tottime_sort(self, capsys):
+        assert main(
+            ["profile", "--dataset", "wi", "--scale", "0.1", "--pattern", "tc",
+             "--sort", "tottime", "--top", "3"]
+        ) == 0
+        assert "internal time" in capsys.readouterr().out
+
     def test_experiment(self, capsys):
         assert main(["experiment", "table3", "--no-cache"]) == 0
         assert "178" in capsys.readouterr().out

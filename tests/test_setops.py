@@ -8,10 +8,14 @@ from hypothesis import strategies as st
 from repro.mining import (
     as_sorted_array,
     intersect,
+    intersect_bounded,
+    intersect_multi,
+    intersect_multi_reference,
     intersect_reference,
     merge_cost,
     segment_count,
     subtract,
+    subtract_bounded,
     subtract_reference,
     truncate_below,
 )
@@ -115,3 +119,69 @@ def test_truncate_below_property(a, bound):
     assert all(int(x) < bound for x in kept)
     dropped = set(int(x) for x in a) - set(int(x) for x in kept)
     assert all(x >= bound for x in dropped)
+
+
+@settings(max_examples=80, deadline=None)
+@given(arrays=st.lists(sorted_sets, min_size=1, max_size=5))
+def test_intersect_multi_matches_reference(arrays):
+    vectorized = list(intersect_multi(arrays))
+    assert vectorized == intersect_multi_reference([list(a) for a in arrays])
+
+
+@settings(max_examples=80, deadline=None)
+@given(a=sorted_sets, b=sorted_sets, bound=st.integers(-5, 220))
+def test_bounded_variants_match_reference(a, b, bound):
+    trunc_a = list(truncate_below(a, bound))
+    assert list(intersect_bounded(a, b, bound)) == intersect_reference(trunc_a, list(b))
+    assert list(subtract_bounded(a, b, bound)) == subtract_reference(trunc_a, list(b))
+    assert list(intersect_bounded(a, b, None)) == intersect_reference(list(a), list(b))
+
+
+@settings(max_examples=60, deadline=None)
+@given(arrays=st.lists(sorted_sets, min_size=2, max_size=5))
+def test_chained_comparison_accounting_matches_reference(arrays):
+    """The accounted merge cost of a vectorized left-to-right chain equals
+    the cost of the same chain over the pure-Python reference: equal
+    survivor sizes at every step imply equal ``merge_cost`` sums, which is
+    the invariant the simulator's FU accounting relies on."""
+    vec, ref = arrays[0], list(arrays[0])
+    vec_cost = ref_cost = 0
+    for arr in arrays[1:]:
+        vec_cost += merge_cost(len(vec), len(arr))
+        ref_cost += merge_cost(len(ref), len(arr))
+        vec = intersect(vec, arr)
+        ref = intersect_reference(ref, list(arr))
+        assert list(vec) == ref
+    assert vec_cost == ref_cost
+
+
+class TestAsSortedArrayFastPath:
+    def test_sorted_unique_ndarray_is_zero_copy_view(self):
+        base = np.array([1, 4, 9], dtype=np.int64)
+        out = as_sorted_array(base)
+        assert out.base is base or out.base is not None
+        assert not out.flags.writeable
+        assert list(out) == [1, 4, 9]
+
+    def test_unsorted_ndarray_still_normalized(self):
+        out = as_sorted_array(np.array([9, 1, 4, 4], dtype=np.int64))
+        assert list(out) == [1, 4, 9]
+        assert not out.flags.writeable
+
+    def test_empty_inputs_share_singleton(self):
+        a = as_sorted_array(np.empty(0, dtype=np.int64))
+        b = as_sorted_array([])
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_result_mutation_rejected(self):
+        out = as_sorted_array([3, 1])
+        with pytest.raises(ValueError):
+            out[0] = 7
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.integers(-1000, 1000), max_size=60))
+    def test_ndarray_and_list_paths_agree(self, values):
+        from_list = as_sorted_array(values)
+        from_array = as_sorted_array(np.asarray(values, dtype=np.int64))
+        assert list(from_list) == list(from_array) == sorted(set(values))

@@ -88,3 +88,54 @@ class TestRunControl:
         engine = Engine()
         assert engine.run() == 0
         assert engine.now == 0.0
+
+
+class TestDeterminism:
+    """Regression tests pinning event order across runs and drain loops."""
+
+    @staticmethod
+    def _storm(engine, log):
+        """A same-cycle-heavy workload: cascading callbacks that schedule
+        zero-delay and future events from inside the drain loop."""
+        def emit(tag):
+            log.append((engine.now, tag))
+            if len(tag) < 3:
+                engine.after(0, lambda: emit(tag + "x"))
+                engine.after(3, lambda: emit(tag + "y"))
+
+        for start, tag in ((2, "a"), (2, "b"), (5, "c"), (11, "d")):
+            engine.at(start, lambda t=tag: emit(t))
+
+    def test_event_order_identical_across_runs(self):
+        logs = []
+        for _ in range(2):
+            engine = Engine()
+            log = []
+            self._storm(engine, log)
+            engine.run()
+            logs.append(log)
+        assert logs[0] == logs[1]
+        assert len(logs[0]) > 10  # the storm actually cascaded
+
+    def test_coalesced_and_legacy_loops_agree(self):
+        # max_events=None takes the same-cycle coalescing drain loop;
+        # a huge max_events takes the legacy per-event loop.  Both must
+        # produce the identical (time, tag) sequence and final clock.
+        runs = []
+        for max_events in (None, 10_000):
+            engine = Engine()
+            log = []
+            self._storm(engine, log)
+            engine.run(max_events=max_events)
+            runs.append((log, engine.now))
+        assert runs[0] == runs[1]
+
+    def test_coalesced_until_boundary_matches_legacy(self):
+        runs = []
+        for max_events in (None, 10_000):
+            engine = Engine()
+            log = []
+            self._storm(engine, log)
+            engine.run(until=5, max_events=max_events)
+            runs.append((log, engine.now, engine.pending()))
+        assert runs[0] == runs[1]

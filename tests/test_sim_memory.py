@@ -5,7 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError, SimulationError
-from repro.sim import Cache, MemorySystem, PELatencyWindow, Scratchpad, SimConfig
+from repro.sim import (
+    Cache,
+    MemorySystem,
+    PELatencyWindow,
+    ReferenceCache,
+    Scratchpad,
+    SimConfig,
+)
 
 
 class TestCacheBasics:
@@ -220,3 +227,66 @@ def test_cache_matches_reference_lru(accesses, ways, sets_pow):
             cache.insert(line)
         assert hit == ((line in oracle.sets[line % sets]))
         oracle.access(line)
+
+
+# ----------------------------------------------------------------------
+# Flattened Cache vs the retained insertion-ordered-dict ReferenceCache:
+# the two models must emit identical hit/miss/eviction sequences over
+# recorded random traces (the seed-cache equivalence promised in the
+# module docstring of repro/sim/memory.py).
+# ----------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    trace=st.lists(st.integers(0, 48), min_size=1, max_size=160),
+    ways=st.integers(1, 4),
+    sets_pow=st.integers(0, 3),
+)
+def test_flat_cache_trace_equivalent_to_reference_cache(trace, ways, sets_pow):
+    sets = 2 ** sets_pow
+    flat = Cache(sets * ways * 64, ways, 64)
+    seed = ReferenceCache(sets * ways * 64, ways, 64)
+    assert flat.num_sets == seed.num_sets
+    for line in trace:
+        flat_hit = flat.lookup(line)
+        seed_hit = seed.lookup(line)
+        assert flat_hit == seed_hit
+        if not flat_hit:
+            assert flat.insert(line) == seed.insert(line)
+    assert (flat.hits, flat.misses, flat.evictions) == (
+        seed.hits, seed.misses, seed.evictions,
+    )
+    assert flat.hit_rate == seed.hit_rate
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(0, 48), min_size=0, max_size=12, unique=True),
+        min_size=1,
+        max_size=24,
+    ),
+    ways=st.integers(1, 4),
+    sets_pow=st.integers(0, 3),
+)
+def test_batched_access_lines_matches_sequential_lookups(batches, ways, sets_pow):
+    """``access_lines`` over distinct addresses = a sequential ``lookup``
+    sweep: same hit mask, same stats, and — via interleaved inserts that
+    force evictions — the same downstream LRU state."""
+    sets = 2 ** sets_pow
+    batched = Cache(sets * ways * 64, ways, 64)
+    sequential = Cache(sets * ways * 64, ways, 64)
+    for batch in batches:
+        mask = batched.access_lines(batch)
+        assert len(mask) == len(batch)
+        for line, batched_hit in zip(batch, mask):
+            assert sequential.lookup(line) == bool(batched_hit)
+        # Fill the misses in both models so LRU state keeps evolving.
+        misses = [line for line, hit in zip(batch, mask) if not hit]
+        assert batched.insert_lines(misses) == [
+            e for e in (sequential.insert(line) for line in misses)
+            if e is not None
+        ]
+    assert (batched.hits, batched.misses, batched.evictions) == (
+        sequential.hits, sequential.misses, sequential.evictions,
+    )
