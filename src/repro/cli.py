@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     repro experiment figure9 table2 --jobs 4        # regenerate artifacts
     repro cache info                                # persistent result cache
     repro cache clear
+    repro validate all --scale 0.3                  # oracle + invariants + goldens
+    repro validate golden --update                  # re-bless golden snapshots
+    repro validate fuzz --runs 20 --seed 7          # randomized differential tests
 
 ``repro experiment`` routes through :mod:`repro.orchestrator`: cells
 are deduplicated, satisfied from ``.repro-cache/`` when possible, and
@@ -111,6 +114,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="differential validation: oracles, invariants, goldens, fuzz "
+             "(docs/validation.md)",
+    )
+    vsub = validate.add_subparsers(dest="validate_command", required=True)
+
+    def _add_cache_args(p):
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="skip the persistent result cache for this invocation",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+        )
+
+    v_all = vsub.add_parser(
+        "all", help="oracle + invariant + golden checks (the CI smoke gate)"
+    )
+    _add_scale_arg(v_all)
+    _add_cache_args(v_all)
+    v_all.add_argument(
+        "--datasets", nargs="+", default=["wi", "as"], choices=dataset_codes(),
+        help="datasets the oracle sweeps (goldens always use the pinned matrix)",
+    )
+    v_all.add_argument(
+        "--patterns", nargs="+", default=["tc", "4cl"], choices=BENCHMARK_CODES,
+    )
+
+    v_oracle = vsub.add_parser(
+        "oracle", help="cross-policy + reference-miner (+ naive) agreement"
+    )
+    _add_scale_arg(v_oracle)
+    _add_cache_args(v_oracle)
+    v_oracle.add_argument(
+        "--datasets", nargs="+", default=["wi", "as"], choices=dataset_codes()
+    )
+    v_oracle.add_argument(
+        "--patterns", nargs="+", default=["tc", "4cl"], choices=BENCHMARK_CODES
+    )
+
+    v_inv = vsub.add_parser(
+        "invariants", help="run every policy under the live InvariantChecker"
+    )
+    _add_scale_arg(v_inv)
+    v_inv.add_argument(
+        "--datasets", nargs="+", default=["wi"], choices=dataset_codes()
+    )
+    v_inv.add_argument(
+        "--patterns", nargs="+", default=["tc", "4cl"], choices=BENCHMARK_CODES
+    )
+
+    v_golden = vsub.add_parser(
+        "golden", help="diff RunMetrics against committed snapshots"
+    )
+    _add_scale_arg(v_golden)
+    _add_cache_args(v_golden)
+    v_golden.add_argument(
+        "--update", action="store_true",
+        help="rewrite the snapshots instead of diffing (then commit them)",
+    )
+    v_golden.add_argument(
+        "--dir", default=None,
+        help="snapshot directory (default: REPRO_GOLDEN_DIR or tests/golden)",
+    )
+
+    v_fuzz = vsub.add_parser(
+        "fuzz", help="randomized graphs/configs through oracle + invariants"
+    )
+    v_fuzz.add_argument("--runs", type=int, default=20)
+    v_fuzz.add_argument("--seed", type=int, default=0)
+    v_fuzz.add_argument(
+        "--out", default=None,
+        help="repro-bundle directory for failures (default: .repro-fuzz-failures)",
+    )
+    v_fuzz.add_argument(
+        "--replay", default=None, metavar="BUNDLE",
+        help="re-run the case stored in a repro bundle instead of fuzzing",
     )
 
     cache = sub.add_parser("cache", help="inspect or clear the persistent result cache")
@@ -277,6 +361,95 @@ def cmd_experiment(args) -> int:
     return 0 if run.ok else 1
 
 
+def _attach_validate_cache(args):
+    """Route run_cell through the persistent cache; returns a detach callable."""
+    from .orchestrator import ResultCache, attach_persistent_cache, cache_enabled
+
+    if getattr(args, "no_cache", False) or not cache_enabled():
+        return lambda: None
+    cache = ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+    return attach_persistent_cache(cache)
+
+
+def cmd_validate(args) -> int:
+    from pathlib import Path
+
+    from .validate import fuzz as fuzz_mod
+    from .validate import (
+        ORACLE_POLICIES,
+        check_golden,
+        oracle_cell,
+        run_fuzz,
+    )
+    from .validate.invariants import checked_simulate
+
+    command = args.validate_command
+    ok = True
+
+    if command == "fuzz":
+        if args.replay:
+            report = fuzz_mod.replay_bundle(args.replay)
+            print(report.render())
+            return 0 if report.ok else 1
+        report = run_fuzz(
+            args.runs, args.seed,
+            out_dir=args.out,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if command == "golden":
+        detach = _attach_validate_cache(args)
+        try:
+            golden_dir = Path(args.dir) if args.dir else None
+            scale = args.scale if args.scale is not None else 0.3
+            report = check_golden(
+                scale=scale, golden_dir=golden_dir, update=args.update
+            )
+        finally:
+            detach()
+        print(report.render())
+        return 0 if report.ok else 1
+
+    scale = _resolve_scale(args)
+    if command in ("all", "oracle"):
+        detach = _attach_validate_cache(args)
+        try:
+            if command == "all":
+                golden = check_golden(scale=scale)
+                print(golden.render())
+                print()
+                ok = ok and golden.ok
+            for dataset in args.datasets:
+                for pattern in args.patterns:
+                    report = oracle_cell(dataset, pattern, scale=scale)
+                    print(report.render())
+                    ok = ok and report.ok
+        finally:
+            detach()
+
+    if command in ("all", "invariants"):
+        from .experiments.runner import eval_config, get_graph, get_schedule
+
+        datasets = args.datasets if command == "invariants" else ["wi"]
+        print()
+        for dataset in datasets:
+            graph = get_graph(dataset, scale)
+            for pattern in args.patterns:
+                schedule = get_schedule(pattern)
+                for policy in ORACLE_POLICIES:
+                    _, checker = checked_simulate(
+                        graph, schedule, policy=policy, config=eval_config()
+                    )
+                    print(f"{dataset}@{scale:g} × {pattern}: {checker.report()}")
+                    ok = ok and checker.ok
+
+    print()
+    print(f"validate {command}: {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def cmd_cache(args) -> int:
     from .orchestrator import ResultCache
 
@@ -297,6 +470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "profile": cmd_profile,
         "experiment": cmd_experiment,
+        "validate": cmd_validate,
         "cache": cmd_cache,
     }
     return handlers[args.command](args)

@@ -40,6 +40,8 @@ class MiningStats:
 
     match_count: int = 0
     tasks_per_depth: List[int] = field(default_factory=list)
+    children_spawned: int = 0
+    children_pruned: int = 0
     total_comparisons: int = 0
     materialized_elements: int = 0
     intermediate_input_lines: int = 0
@@ -50,6 +52,18 @@ class MiningStats:
     def total_tasks(self) -> int:
         """All executing (non-pruned) tasks across all depths."""
         return sum(self.tasks_per_depth)
+
+    @property
+    def candidates_generated(self) -> int:
+        """Candidates produced by expansions: spawned + pruned children.
+
+        This is the "spawned = executed + pruned" conservation law the
+        validation harness asserts: every generated candidate either
+        became an executed child task or was pruned by symmetry/used-
+        vertex filtering, and every executed task is a root or a spawned
+        child (``total_tasks == roots + children_spawned``).
+        """
+        return self.children_spawned + self.children_pruned
 
     @property
     def avg_intermediate_lines_per_task(self) -> float:
@@ -108,7 +122,10 @@ def mine(
         _account(stats, expansion)
         next_depth = depth + 1
         sets[next_depth] = expansion.candidates
-        for child in ctx.children(embedding, expansion.candidates):
+        children = ctx.children(embedding, expansion.candidates)
+        stats.children_spawned += len(children)
+        stats.children_pruned += len(expansion.candidates) - len(children)
+        for child in children:
             embedding.append(child)
             keep_going = visit(embedding)
             embedding.pop()

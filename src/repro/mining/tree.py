@@ -153,6 +153,16 @@ class SearchContext:
         ]
         self._bound_depths = schedule.upper_bound_depths
         self._recompute_memo: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        # Workload counters consumed by the validation harness
+        # (``repro.validate``): every candidate presented to
+        # :meth:`children` is either kept (spawned as a child task) or
+        # pruned by the symmetry bound / used-vertex filter, so
+        # ``candidates_seen == children_kept + children_pruned`` is a
+        # conservation law any caller may assert.
+        self.expansions = 0
+        self.candidates_seen = 0
+        self.children_kept = 0
+        self.children_pruned = 0
 
     # ------------------------------------------------------------------
     def _make_plan(
@@ -222,6 +232,7 @@ class SearchContext:
             raise ScheduleError(f"embedding length {d} out of range")
         if d == self.schedule.depth:
             raise ScheduleError("leaf tasks have no candidate set to compute")
+        self.expansions += 1
 
         reused_depth, residual_conn, residual_disc = self._plan[d]
         nbr = self._nbr
@@ -325,26 +336,29 @@ class SearchContext:
         candidate vertices.
         """
         d = len(embedding)
+        total = len(candidates)
         depths = self._bound_depths[d]
-        if depths and len(candidates):
+        if depths and total:
             bound = min(int(embedding[i]) for i in depths)
             kept = candidates[: int(np.searchsorted(candidates, bound, side="left"))]
         else:
             kept = candidates
         out = kept.tolist()
         check = self._used_positions[d]
-        if not check or not out:
-            return out
-        drop = None
-        for p in check:
-            v = int(embedding[p])
-            i = int(np.searchsorted(kept, v))
-            if i < len(out) and out[i] == v:
-                drop = i if drop is None else drop
-                out[i] = None
-        if drop is None:
-            return out
-        return [x for x in out if x is not None]
+        if check and out:
+            drop = None
+            for p in check:
+                v = int(embedding[p])
+                i = int(np.searchsorted(kept, v))
+                if i < len(out) and out[i] == v:
+                    drop = i if drop is None else drop
+                    out[i] = None
+            if drop is not None:
+                out = [x for x in out if x is not None]
+        self.candidates_seen += total
+        self.children_kept += len(out)
+        self.children_pruned += total - len(out)
+        return out
 
     def is_leaf_depth(self, depth: int) -> bool:
         """Whether ``depth`` is the final search depth (no spawning)."""

@@ -234,6 +234,7 @@ class Accelerator:
     def _collect(self) -> RunMetrics:
         cycles = max(self.finish_cycle, 1.0)
         run = RunMetrics(policy=self.policy_name, cycles=self.finish_cycle)
+        run.tasks_per_depth = [0] * self.schedule.depth
         total_iu_busy = 0.0
         total_busy_slots = 0.0
         total_idle_with_work = 0.0
@@ -254,6 +255,7 @@ class Accelerator:
                 l1_hits=l1.hits,
                 l1_misses=l1.misses,
                 l1_avg_latency=window.lifetime_average,
+                tasks_per_depth=list(pe.depth_executed),
             )
             policy = pe.policy
             if isinstance(policy, ShogunPolicy):
@@ -267,6 +269,8 @@ class Accelerator:
             run.per_pe.append(pm)
             run.matches += pe.matches
             run.tasks_executed += pe.tasks_executed
+            for d, n in enumerate(pe.depth_executed):
+                run.tasks_per_depth[d] += n
             run.trees_completed += pe.policy.trees_completed
             total_iu_busy += pe.iu_pool.busy_cycles
             total_busy_slots += pe._busy_slot_cycles

@@ -34,6 +34,7 @@ class PEMetrics:
     conservative_fraction: float = 0.0
     spawn_waits: int = 0
     token_stalls: int = 0
+    tasks_per_depth: List[int] = field(default_factory=list)
 
     @property
     def l1_hit_rate(self) -> float:
@@ -77,6 +78,7 @@ class RunMetrics:
     merges: int = 0
     quiesces: int = 0
     conservative_fraction: float = 0.0
+    tasks_per_depth: List[int] = field(default_factory=list)
     per_pe: List[PEMetrics] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
 

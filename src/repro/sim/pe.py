@@ -85,6 +85,7 @@ class PE:
 
         self.slots_used = 0
         self.tasks_executed = 0
+        self.depth_executed: List[int] = [0] * self.schedule.depth
         self.matches = 0
         self.finish_cycle = 0.0
         self._kick_pending = False
@@ -349,6 +350,7 @@ class PE:
         self._integrate()
         task.state = TaskState.COMPLETE
         self.tasks_executed += 1
+        self.depth_executed[task.depth] += 1
         if task.depth >= self.schedule.max_depth:
             self.matches += 1
             task.children_vertices = []

@@ -94,16 +94,33 @@ class TraceRecorder:
         return [s for s in self.spans if s.pe == pe_id]
 
     def concurrency_profile(self, pe_id: int, step: float = 1.0) -> List[int]:
-        """Executing-task count per time step on one PE (Figure 2 data)."""
+        """Executing-task count per time step on one PE (Figure 2 data).
+
+        Bucket ``i`` covers the half-open interval
+        ``[i * step, (i + 1) * step)``: a span ending exactly on a bucket
+        boundary does not leak into the next bucket, and a zero-duration
+        span still occupies the bucket holding its start.  ``step`` may be
+        any positive float; a run whose horizon is 0 (every span at time
+        zero) yields a single bucket.
+        """
+        if step <= 0:
+            raise ValueError("step must be positive")
         spans = self.spans_for_pe(pe_id)
         if not spans:
             return []
         horizon = max(s.end for s in spans)
-        buckets = [0] * (int(horizon / step) + 1)
+        num = max(1, int(-(-horizon // step)))
+        buckets = [0] * num
         for span in spans:
-            first = int(span.start / step)
-            last = int(span.end / step)
-            for i in range(first, min(last + 1, len(buckets))):
+            first = min(int(span.start // step), num - 1)
+            if span.end > span.start:
+                # Half-open occupancy: an end on a boundary belongs to
+                # the bucket it closes, not the one it opens.
+                last = -(-span.end // step) - 1
+            else:
+                last = first
+            last = min(int(last), num - 1)
+            for i in range(first, last + 1):
                 buckets[i] += 1
         return buckets
 
@@ -149,3 +166,43 @@ class TraceRecorder:
                     f"{s.pe},{s.task_id},{s.tree},{s.depth},{s.vertex},"
                     f"{s.start:.2f},{s.end:.2f}\n"
                 )
+
+    @classmethod
+    def load_csv(cls, path: str | os.PathLike) -> "TraceRecorder":
+        """Rebuild a recorder from a :meth:`save_csv` file.
+
+        Times round-trip through the ``:.2f`` formatting of
+        :meth:`save_csv`, so loaded spans carry centicycle-rounded
+        ``start``/``end`` values; every analysis method
+        (:meth:`concurrency_profile`, :meth:`depth_histogram`,
+        :meth:`summary`, …) works on the loaded recorder.
+        """
+        recorder = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            header = handle.readline().strip()
+            expected = "pe,task_id,tree,depth,vertex,start,end"
+            if header != expected:
+                raise ValueError(
+                    f"unrecognized trace CSV header {header!r} in {os.fspath(path)}"
+                )
+            for lineno, line in enumerate(handle, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                fields = line.split(",")
+                if len(fields) != 7:
+                    raise ValueError(
+                        f"malformed trace CSV row at {os.fspath(path)}:{lineno}"
+                    )
+                recorder.spans.append(
+                    TaskSpan(
+                        pe=int(fields[0]),
+                        task_id=int(fields[1]),
+                        tree=int(fields[2]),
+                        depth=int(fields[3]),
+                        vertex=int(fields[4]),
+                        start=float(fields[5]),
+                        end=float(fields[6]),
+                    )
+                )
+        return recorder

@@ -1,0 +1,63 @@
+"""Differential validation harness: oracles, invariants, goldens, fuzz.
+
+Simulator results are only trustworthy with explicit cross-checks (the
+experience of every scheduler-simulation study); this package is the
+correctness backbone the rest of the reproduction regresses against:
+
+* :mod:`~repro.validate.oracle` — run all five scheduling policies plus
+  the reference miner (and, on small graphs, the naive counter) on the
+  same (graph, pattern) and assert identical match counts and per-depth
+  task totals;
+* :mod:`~repro.validate.invariants` — a non-invasive
+  :class:`InvariantChecker` that attaches to a live
+  :class:`~repro.sim.accelerator.Accelerator` (like
+  :class:`~repro.sim.trace.TraceRecorder`) and verifies conservation
+  laws while the simulation runs;
+* :mod:`~repro.validate.golden` — committed ``RunMetrics`` JSON
+  snapshots under ``tests/golden/`` with field-by-field diffing and a
+  ``--update`` refresh path;
+* :mod:`~repro.validate.fuzz` — randomized graphs + perturbed configs
+  through oracle and invariant checks, writing a self-contained repro
+  bundle on failure.
+
+Everything is reachable from the command line via ``repro validate``
+(see ``docs/validation.md``).
+"""
+
+from .fuzz import FuzzCase, FuzzReport, load_bundle, run_fuzz
+from .golden import (
+    GOLDEN_PATTERNS,
+    GOLDEN_POLICIES,
+    GoldenReport,
+    check_golden,
+    default_golden_dir,
+    golden_matrix,
+    load_snapshot,
+    snapshot_path,
+    update_golden,
+)
+from .invariants import InvariantChecker, Violation, checked_simulate
+from .oracle import ORACLE_POLICIES, OracleReport, oracle_cell, run_oracle
+
+__all__ = [
+    "FuzzCase",
+    "FuzzReport",
+    "GOLDEN_PATTERNS",
+    "GOLDEN_POLICIES",
+    "GoldenReport",
+    "InvariantChecker",
+    "ORACLE_POLICIES",
+    "OracleReport",
+    "Violation",
+    "check_golden",
+    "checked_simulate",
+    "default_golden_dir",
+    "golden_matrix",
+    "load_bundle",
+    "load_snapshot",
+    "oracle_cell",
+    "run_fuzz",
+    "run_oracle",
+    "snapshot_path",
+    "update_golden",
+]

@@ -1,0 +1,257 @@
+"""Randomized differential testing with self-contained repro bundles.
+
+Each fuzz case derives a per-case RNG from ``(seed, index)``, draws a
+random graph (R-MAT / Erdős–Rényi / power-law configuration model, all
+degree-sorted like the dataset stand-ins), a benchmark pattern and a
+perturbed-but-valid :class:`~repro.sim.config.SimConfig`, then runs the
+full cross-policy oracle with invariant checking enabled
+(:func:`repro.validate.oracle.run_oracle` with ``check_invariants``).
+
+On failure the case is written to disk as a **repro bundle**: a single
+JSON file holding the seed, index, generator name + parameters, pattern
+and config overrides — everything needed to rebuild the exact case with
+:func:`load_bundle` / :func:`replay_bundle` on any machine (graph
+generation is seeded, so no graph data needs shipping).  CI uploads the
+bundle directory as an artifact; triage is ``repro validate fuzz
+--replay <bundle.json>`` (see ``docs/validation.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..graph.csr import CSRGraph
+from ..graph.generators import (
+    degree_sorted,
+    erdos_renyi_gnm,
+    powerlaw_configuration,
+    rmat,
+)
+from ..patterns.graphpi import benchmark_schedule
+from ..sim.config import SimConfig
+from .oracle import ORACLE_POLICIES, OracleReport, run_oracle
+
+#: Patterns the fuzzer draws from: edge- and vertex-induced, depths 3–4.
+FUZZ_PATTERNS = ("tc", "tt_e", "tt_v", "4cl", "4cyc_v", "dia_e")
+
+#: Naive-counter guard for fuzz cases (kept small: many cases per burst).
+FUZZ_NAIVE_LIMIT = 64
+
+#: Bundle directory used when the caller does not pick one.
+DEFAULT_BUNDLE_DIR = ".repro-fuzz-failures"
+
+
+@dataclass
+class FuzzCase:
+    """One fully determined fuzz input (rebuildable from this record)."""
+
+    index: int
+    seed: int
+    generator: str
+    graph_params: Dict[str, object]
+    pattern: str
+    config_overrides: Dict[str, object]
+
+    @property
+    def label(self) -> str:
+        return (
+            f"fuzz#{self.index} seed={self.seed} {self.generator}"
+            f"{self.graph_params} × {self.pattern}"
+        )
+
+
+def case_rng(seed: int, index: int) -> random.Random:
+    """The per-case RNG: independent of every other case in the burst."""
+    return random.Random((seed * 1_000_003 + index) & 0xFFFFFFFF)
+
+
+def make_case(seed: int, index: int) -> FuzzCase:
+    """Draw one case. Deterministic in (seed, index)."""
+    rng = case_rng(seed, index)
+    generator = rng.choice(("rmat", "erdos_renyi", "powerlaw"))
+    graph_seed = rng.randrange(1 << 30)
+    if generator == "rmat":
+        params: Dict[str, object] = {
+            "scale_log2": rng.randint(5, 7),
+            "avg_degree": rng.choice((3.0, 4.0, 6.0)),
+            "seed": graph_seed,
+        }
+    elif generator == "erdos_renyi":
+        n = rng.randint(40, 120)
+        params = {
+            "n": n,
+            "m": n * rng.randint(2, 4),
+            "seed": graph_seed,
+        }
+    else:
+        params = {
+            "n": rng.randint(50, 120),
+            "target_avg_degree": float(rng.randint(4, 8)),
+            "exponent": rng.choice((1.9, 2.2, 2.4)),
+            "seed": graph_seed,
+        }
+    pattern = rng.choice(FUZZ_PATTERNS)
+
+    width = rng.choice((2, 4, 8))
+    overrides: Dict[str, object] = {
+        "num_pes": rng.randint(2, 6),
+        "execution_width": width,
+        "bunch_entries": width,
+        "tokens_per_depth": width,
+        "l1_kb": rng.choice((2, 4, 8)),
+        "l2_kb": rng.choice((64, 128, 256)),
+        "spm_kb": rng.choice((8, 16)),
+        "segment_elements": rng.choice((4, 8, 16)),
+        "root_dispatch": rng.choice(("static", "dynamic")),
+    }
+    if rng.random() < 0.3:
+        overrides["enable_splitting"] = True
+        overrides["lb_check_interval"] = rng.choice((200, 500))
+    if rng.random() < 0.2:
+        overrides["enable_merging"] = True
+    roll = rng.random()
+    if roll < 0.15:
+        overrides["conservative_override"] = True
+    elif roll < 0.3:
+        overrides["conservative_override"] = False
+    return FuzzCase(
+        index=index,
+        seed=seed,
+        generator=generator,
+        graph_params=params,
+        pattern=pattern,
+        config_overrides=overrides,
+    )
+
+
+def build_graph(case: FuzzCase) -> CSRGraph:
+    """Rebuild the case's graph (seeded, so identical everywhere)."""
+    builders: Dict[str, Callable[..., CSRGraph]] = {
+        "rmat": rmat,
+        "erdos_renyi": erdos_renyi_gnm,
+        "powerlaw": powerlaw_configuration,
+    }
+    graph = builders[case.generator](**case.graph_params)
+    # Match the dataset stand-ins: canonical descending-degree order.
+    return degree_sorted(graph)
+
+
+def build_config(case: FuzzCase) -> SimConfig:
+    """Rebuild the case's perturbed simulator configuration."""
+    return SimConfig(**case.config_overrides)
+
+
+def run_case(
+    case: FuzzCase,
+    *,
+    policies: Sequence[str] = ORACLE_POLICIES,
+    naive_limit: int = FUZZ_NAIVE_LIMIT,
+) -> OracleReport:
+    """Run oracle + invariant checks on one case."""
+    graph = build_graph(case)
+    schedule = benchmark_schedule(case.pattern)
+    return run_oracle(
+        graph,
+        schedule,
+        config=build_config(case),
+        policies=policies,
+        naive_limit=naive_limit,
+        label=f"{case.generator}#{case.index}(n={graph.num_vertices})",
+        check_invariants=True,
+    )
+
+
+def write_bundle(
+    out_dir: Path, case: FuzzCase, report: OracleReport
+) -> Path:
+    """Persist a failed case as a self-contained repro bundle."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"fuzz-seed{case.seed}-case{case.index}.json"
+    payload = {
+        "case": asdict(case),
+        "failure": {
+            "pattern": report.pattern,
+            "reference_count": report.reference_count,
+            "naive_count": report.naive_count,
+            "disagreements": report.disagreements,
+        },
+        "replay": f"repro validate fuzz --replay {path}",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_bundle(path: Path | str) -> FuzzCase:
+    """Rebuild the :class:`FuzzCase` stored in a repro bundle."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return FuzzCase(**payload["case"])
+
+
+def replay_bundle(
+    path: Path | str, *, policies: Sequence[str] = ORACLE_POLICIES
+) -> OracleReport:
+    """Re-run the exact case a bundle describes (triage entry point)."""
+    return run_case(load_bundle(path), policies=policies)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz burst."""
+
+    runs: int
+    seed: int
+    failures: List[FuzzCase] = field(default_factory=list)
+    bundles: List[Path] = field(default_factory=list)
+    reports: List[OracleReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        if self.ok:
+            return f"fuzz: {self.runs} case(s), seed {self.seed}: all passed"
+        lines = [
+            f"fuzz: {len(self.failures)}/{self.runs} case(s) FAILED "
+            f"(seed {self.seed}):"
+        ]
+        for case, bundle in zip(self.failures, self.bundles):
+            lines.append(f"  {case.label}")
+            lines.append(f"    bundle: {bundle}")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    runs: int,
+    seed: int,
+    *,
+    out_dir: Optional[Path | str] = None,
+    policies: Sequence[str] = ORACLE_POLICIES,
+    naive_limit: int = FUZZ_NAIVE_LIMIT,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``runs`` random cases; write a repro bundle per failure."""
+    bundle_dir = Path(out_dir) if out_dir is not None else Path(DEFAULT_BUNDLE_DIR)
+    report = FuzzReport(runs=runs, seed=seed)
+    for index in range(runs):
+        case = make_case(seed, index)
+        outcome = run_case(case, policies=policies, naive_limit=naive_limit)
+        report.reports.append(outcome)
+        if outcome.ok:
+            if progress is not None:
+                progress(f"{case.label}: ok")
+            continue
+        bundle = write_bundle(bundle_dir, case, outcome)
+        report.failures.append(case)
+        report.bundles.append(bundle)
+        if progress is not None:
+            progress(f"{case.label}: FAILED -> {bundle}")
+            progress(outcome.render())
+    return report

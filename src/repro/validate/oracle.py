@@ -1,0 +1,214 @@
+"""Cross-policy differential oracle.
+
+All five scheduling policies execute the identical logical workload (the
+:class:`~repro.mining.tree.SearchContext` invariant), so for any (graph,
+pattern) they must report the exact same match count *and* the same
+per-depth executed-task totals as the reference software miner.  On
+small graphs the naive counting engine (injective maps divided by the
+automorphism count — a completely independent algorithm) is added as a
+second, implementation-independent ground truth.
+
+Two entry points:
+
+* :func:`run_oracle` — operate on explicit graph/schedule objects (the
+  fuzzer's path);
+* :func:`oracle_cell` — operate on a (dataset, pattern, scale) cell via
+  :func:`repro.experiments.runner.run_cell`, so oracle runs share the
+  in-process memo and the orchestrator's persistent result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.csr import CSRGraph
+from ..mining.engine import mine
+from ..mining.naive import count_unique_subgraphs
+from ..patterns.schedule import MatchingSchedule
+from ..sim.metrics import RunMetrics
+
+#: The five scheduling policies the paper evaluates (``fingers`` is an
+#: alias of ``pseudo-dfs`` and would only duplicate work here).
+ORACLE_POLICIES: Tuple[str, ...] = (
+    "bfs", "dfs", "pseudo-dfs", "parallel-dfs", "shogun",
+)
+
+#: Run the naive counter only below this vertex count — it enumerates
+#: injective maps and is exponential in pattern size.
+NAIVE_VERTEX_LIMIT = 120
+
+
+@dataclass
+class PolicyOutcome:
+    """One policy's answer for the oracle's (graph, pattern)."""
+
+    policy: str
+    matches: int
+    tasks_per_depth: List[int]
+    cycles: float
+
+
+@dataclass
+class OracleReport:
+    """Everything one oracle evaluation produced."""
+
+    label: str
+    pattern: str
+    reference_count: int
+    reference_tasks_per_depth: List[int]
+    naive_count: Optional[int] = None
+    outcomes: List[PolicyOutcome] = field(default_factory=list)
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every implementation agreed."""
+        return not self.disagreements
+
+    def render(self) -> str:
+        """Human-readable agreement matrix."""
+        naive = (
+            f" naive={self.naive_count}" if self.naive_count is not None
+            else " naive=skipped"
+        )
+        lines = [
+            f"oracle {self.label} × {self.pattern}: "
+            f"reference={self.reference_count}{naive} "
+            f"per-depth={self.reference_tasks_per_depth}"
+        ]
+        for out in self.outcomes:
+            mark = "ok" if (
+                out.matches == self.reference_count
+                and out.tasks_per_depth == self.reference_tasks_per_depth
+            ) else "MISMATCH"
+            lines.append(
+                f"  {out.policy:12s} matches={out.matches:<8d} "
+                f"per-depth={out.tasks_per_depth} cycles={out.cycles:.0f}  {mark}"
+            )
+        for d in self.disagreements:
+            lines.append(f"  !! {d}")
+        return "\n".join(lines)
+
+
+def _compare(report: OracleReport, outcome: PolicyOutcome) -> None:
+    if outcome.matches != report.reference_count:
+        report.disagreements.append(
+            f"{outcome.policy}: {outcome.matches} matches, reference miner "
+            f"found {report.reference_count}"
+        )
+    if outcome.tasks_per_depth != report.reference_tasks_per_depth:
+        report.disagreements.append(
+            f"{outcome.policy}: per-depth task totals {outcome.tasks_per_depth} "
+            f"differ from the miner's {report.reference_tasks_per_depth}"
+        )
+
+
+def _maybe_naive(
+    report: OracleReport,
+    graph: CSRGraph,
+    schedule: MatchingSchedule,
+    naive_limit: int,
+) -> None:
+    if graph.num_vertices > naive_limit:
+        return
+    report.naive_count = count_unique_subgraphs(
+        graph, schedule.pattern, induced=schedule.induced
+    )
+    if report.naive_count != report.reference_count:
+        report.disagreements.append(
+            f"naive counter found {report.naive_count} matches, reference "
+            f"miner found {report.reference_count}"
+        )
+
+
+def run_oracle(
+    graph: CSRGraph,
+    schedule: MatchingSchedule,
+    *,
+    config=None,
+    policies: Sequence[str] = ORACLE_POLICIES,
+    naive_limit: int = NAIVE_VERTEX_LIMIT,
+    label: str = "graph",
+    check_invariants: bool = False,
+) -> OracleReport:
+    """Differential oracle on explicit graph/schedule objects.
+
+    With ``check_invariants`` every simulation also runs under an
+    attached :class:`~repro.validate.invariants.InvariantChecker`, and
+    violations are reported as disagreements (the fuzzer's mode).
+    """
+    from ..sim.accelerator import simulate
+    from .invariants import checked_simulate
+
+    result = mine(graph, schedule)
+    report = OracleReport(
+        label=label,
+        pattern=schedule.pattern.name,
+        reference_count=result.count,
+        reference_tasks_per_depth=list(result.stats.tasks_per_depth),
+    )
+    _maybe_naive(report, graph, schedule, naive_limit)
+    for policy in policies:
+        if check_invariants:
+            metrics, checker = checked_simulate(
+                graph, schedule, policy=policy, config=config
+            )
+            for violation in checker.violations:
+                report.disagreements.append(f"{policy}: {violation}")
+        else:
+            metrics = simulate(graph, schedule, policy=policy, config=config)
+        outcome = PolicyOutcome(
+            policy=policy,
+            matches=metrics.matches,
+            tasks_per_depth=list(metrics.tasks_per_depth),
+            cycles=metrics.cycles,
+        )
+        report.outcomes.append(outcome)
+        _compare(report, outcome)
+    return report
+
+
+def oracle_cell(
+    dataset: str,
+    pattern: str,
+    *,
+    scale: Optional[float] = None,
+    config=None,
+    policies: Sequence[str] = ORACLE_POLICIES,
+    naive_limit: int = NAIVE_VERTEX_LIMIT,
+) -> OracleReport:
+    """Differential oracle over one evaluation cell (cache-aware).
+
+    Simulations route through :func:`repro.experiments.runner.run_cell`,
+    so with :func:`repro.orchestrator.attach_persistent_cache` installed
+    the oracle's cells are satisfied from — and contribute to — the
+    persistent result cache.
+    """
+    from ..experiments import runner
+
+    scale_val = scale if scale is not None else runner.default_scale()
+    graph = runner.get_graph(dataset, scale_val)
+    schedule = runner.get_schedule(pattern)
+    result = mine(graph, schedule)
+    report = OracleReport(
+        label=f"{dataset}@{scale_val:g}",
+        pattern=pattern,
+        reference_count=result.count,
+        reference_tasks_per_depth=list(result.stats.tasks_per_depth),
+    )
+    _maybe_naive(report, graph, schedule, naive_limit)
+    for policy in policies:
+        metrics: RunMetrics = runner.run_cell(
+            dataset, pattern, policy,
+            config=config, scale=scale_val, verify=False,
+        )
+        outcome = PolicyOutcome(
+            policy=policy,
+            matches=metrics.matches,
+            tasks_per_depth=list(metrics.tasks_per_depth),
+            cycles=metrics.cycles,
+        )
+        report.outcomes.append(outcome)
+        _compare(report, outcome)
+    return report

@@ -140,3 +140,55 @@ class TestCacheCommands:
         assert "removed 8" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
         assert "entries:    0" in capsys.readouterr().out
+
+
+class TestValidateCLI:
+    def test_validate_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate"])
+
+    def test_fuzz_defaults(self):
+        args = build_parser().parse_args(["validate", "fuzz"])
+        assert args.runs == 20 and args.seed == 0 and args.replay is None
+
+    def test_invariants(self, capsys):
+        assert main(["validate", "invariants", "--scale", "0.1",
+                     "--datasets", "wi", "--patterns", "tc"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+        assert "validate invariants: PASS" in out
+
+    def test_oracle(self, capsys):
+        assert main(["validate", "oracle", "--scale", "0.1", "--no-cache",
+                     "--datasets", "wi", "--patterns", "tc"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle wi@0.1" in out
+        assert "validate oracle: PASS" in out
+
+    def test_fuzz_burst(self, tmp_path, capsys):
+        assert main(["validate", "fuzz", "--runs", "1", "--seed", "7",
+                     "--out", str(tmp_path)]) == 0
+        assert "all passed" in capsys.readouterr().out
+        assert not list(tmp_path.iterdir())
+
+    def test_golden_update_then_check(self, tmp_path, capsys):
+        golden_dir = str(tmp_path / "golden")
+        assert main(["validate", "golden", "--update", "--no-cache",
+                     "--dir", golden_dir, "--scale", "0.1"]) == 0
+        assert "10 created" in capsys.readouterr().out
+        assert main(["validate", "golden", "--no-cache",
+                     "--dir", golden_dir, "--scale", "0.1"]) == 0
+        assert "10 ok" in capsys.readouterr().out
+
+    def test_golden_missing_fails(self, tmp_path, capsys):
+        assert main(["validate", "golden", "--no-cache",
+                     "--dir", str(tmp_path / "empty"), "--scale", "0.1"]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_fuzz_replay(self, tmp_path, capsys):
+        from repro.validate.fuzz import make_case, run_case, write_bundle
+
+        case = make_case(7, 0)
+        bundle = write_bundle(tmp_path, case, run_case(case))
+        assert main(["validate", "fuzz", "--replay", str(bundle)]) == 0
+        assert "all" not in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Byte-level determinism of RunMetrics across repeat runs and processes.
+
+The golden registry and the persistent result cache both assume a cell's
+metrics are a pure function of (graph, schedule, policy, config).  These
+tests pin that down: two fresh simulations serialize identically, and the
+orchestrator's process pool returns the same bytes as an in-process run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.orchestrator import Orchestrator
+from repro.orchestrator.cells import CellSpec, cell_key
+from repro.sim import SimConfig
+from repro.sim.accelerator import simulate
+from repro.validate.oracle import ORACLE_POLICIES
+
+
+def canonical(metrics) -> str:
+    return json.dumps(metrics.to_dict(), sort_keys=True)
+
+
+class TestSerialDeterminism:
+    @pytest.mark.parametrize("policy", ORACLE_POLICIES)
+    def test_repeat_runs_identical(self, small_er, sched_tc, policy):
+        config = SimConfig(num_pes=2)
+        first = simulate(small_er, sched_tc, policy=policy, config=config)
+        second = simulate(small_er, sched_tc, policy=policy, config=config)
+        assert canonical(first) == canonical(second)
+
+    def test_repeat_runs_identical_with_splitting(self, skewed_graph, sched_4cl):
+        config = SimConfig(
+            num_pes=4, enable_splitting=True, lb_check_interval=200
+        )
+        first = simulate(skewed_graph, sched_4cl, policy="shogun", config=config)
+        second = simulate(skewed_graph, sched_4cl, policy="shogun", config=config)
+        assert canonical(first) == canonical(second)
+
+    def test_dict_roundtrip_is_stable(self, small_er, sched_tc):
+        from repro.sim.metrics import RunMetrics
+
+        metrics = simulate(
+            small_er, sched_tc, policy="shogun", config=SimConfig(num_pes=2)
+        )
+        clone = RunMetrics.from_dict(metrics.to_dict())
+        assert canonical(clone) == canonical(metrics)
+
+
+class TestPoolDeterminism:
+    def test_process_pool_matches_serial(self):
+        config = runner.eval_config()
+        specs = {}
+        for policy in ("shogun", "bfs"):
+            spec = CellSpec(
+                dataset="wi", pattern="tc", policy=policy,
+                scale=0.3, config=config, verify=False,
+            )
+            specs[cell_key(spec)] = spec
+
+        results, failures = Orchestrator(jobs=2).run_cells(specs)
+        assert failures == {}
+        assert set(results) == set(specs)
+        for key, spec in specs.items():
+            serial = runner.simulate_cell(
+                spec.dataset, spec.pattern, spec.policy,
+                config=spec.config, scale=spec.scale, verify=False,
+            )
+            assert canonical(results[key]) == canonical(serial), spec.label()

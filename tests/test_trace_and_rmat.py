@@ -10,6 +10,26 @@ from repro.mining import count_matches
 from repro.patterns import benchmark_schedule
 from repro.sim import SimConfig, TraceRecorder
 from repro.sim.accelerator import Accelerator
+from repro.sim.trace import TaskSpan
+
+
+def make_trace(spans):
+    trace = TraceRecorder()
+    trace.spans.extend(spans)
+    return trace
+
+
+def span(pe, start, end, task_id=0, depth=0, vertex=0, tree=0):
+    return TaskSpan(pe=pe, task_id=task_id, tree=tree, depth=depth,
+                    vertex=vertex, start=start, end=end)
+
+
+@pytest.fixture()
+def traced_run(small_er, sched_tc):
+    accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=2), "shogun")
+    trace = TraceRecorder.attach(accel)
+    metrics = accel.run()
+    return trace, metrics
 
 
 class TestRMAT:
@@ -44,13 +64,6 @@ class TestRMAT:
 
 
 class TestTraceRecorder:
-    @pytest.fixture()
-    def traced_run(self, small_er, sched_tc):
-        accel = Accelerator(small_er, sched_tc, SimConfig(num_pes=2), "shogun")
-        trace = TraceRecorder.attach(accel)
-        metrics = accel.run()
-        return trace, metrics
-
     def test_one_span_per_task(self, traced_run):
         trace, metrics = traced_run
         assert len(trace.spans) == metrics.tasks_executed
@@ -104,3 +117,92 @@ class TestTraceRecorder:
         path = tmp_path / "out" / "run" / "trace.csv"
         trace.save_csv(path)
         assert path.read_text().startswith("pe,")
+
+
+class TestConcurrencyProfileEdges:
+    def test_rejects_nonpositive_step(self):
+        trace = make_trace([span(0, 0.0, 5.0)])
+        with pytest.raises(ValueError):
+            trace.concurrency_profile(0, step=0)
+        with pytest.raises(ValueError):
+            trace.concurrency_profile(0, step=-1.0)
+
+    def test_empty_pe_is_empty_profile(self):
+        trace = make_trace([span(1, 0.0, 5.0)])
+        assert trace.concurrency_profile(0) == []
+
+    def test_non_integer_step(self):
+        # Horizon 5 with step 2.5 → exactly two buckets; the span covers both.
+        trace = make_trace([span(0, 0.0, 5.0)])
+        assert trace.concurrency_profile(0, step=2.5) == [1, 1]
+        # Horizon 5 with step 2 → ceil(5/2) = 3 buckets.
+        assert trace.concurrency_profile(0, step=2.0) == [1, 1, 1]
+
+    def test_boundary_ending_span_stays_out_of_next_bucket(self):
+        # [0, 10) then [10, 20): the first span must not leak into bucket 1.
+        trace = make_trace([span(0, 0.0, 10.0), span(0, 10.0, 20.0)])
+        assert trace.concurrency_profile(0, step=10.0) == [1, 1]
+
+    def test_zero_duration_span_occupies_its_bucket(self):
+        trace = make_trace([span(0, 10.0, 10.0), span(0, 0.0, 20.0)])
+        assert trace.concurrency_profile(0, step=10.0) == [1, 2]
+
+    def test_zero_horizon_single_bucket(self):
+        # Every span at time zero: horizon 0 still yields one bucket.
+        trace = make_trace([span(0, 0.0, 0.0), span(0, 0.0, 0.0)])
+        assert trace.concurrency_profile(0, step=10.0) == [2]
+
+    def test_overlapping_spans_stack(self):
+        trace = make_trace([span(0, 0.0, 30.0), span(0, 10.0, 20.0)])
+        assert trace.concurrency_profile(0, step=10.0) == [1, 2, 1]
+
+
+class TestCsvLoad:
+    def test_roundtrip_preserves_spans(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = TraceRecorder.load_csv(path)
+        assert len(loaded.spans) == len(trace.spans)
+        for orig, back in zip(trace.spans, loaded.spans):
+            assert (back.pe, back.task_id, back.tree, back.depth,
+                    back.vertex) == (orig.pe, orig.task_id, orig.tree,
+                                     orig.depth, orig.vertex)
+            # save_csv emits :.2f, so times round-trip centicycle-rounded.
+            assert back.start == float(f"{orig.start:.2f}")
+            assert back.end == float(f"{orig.end:.2f}")
+
+    def test_loaded_recorder_analyses_match(self, traced_run, tmp_path):
+        trace, metrics = traced_run
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = TraceRecorder.load_csv(path)
+        assert loaded.depth_histogram() == trace.depth_histogram()
+        assert loaded.depth_histogram()[2] == metrics.matches
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "pe,task_id,tree,depth,vertex,start,end\n"
+            "0,1,0,0,5,0.00,3.50\n"
+            "\n"
+            "1,2,0,1,6,3.50,7.25\n"
+        )
+        loaded = TraceRecorder.load_csv(path)
+        assert [s.task_id for s in loaded.spans] == [1, 2]
+        assert loaded.spans[1].end == 7.25
+
+    def test_rejects_bad_header(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("pe,task,depth\n0,1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            TraceRecorder.load_csv(path)
+
+    def test_rejects_malformed_row(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "pe,task_id,tree,depth,vertex,start,end\n"
+            "0,1,0,0\n"
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            TraceRecorder.load_csv(path)

@@ -1,0 +1,116 @@
+"""Tests for the fuzz mode and its repro bundles (repro.validate.fuzz)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+import repro.validate.fuzz as fuzz_mod
+from repro.validate import run_fuzz
+from repro.validate.fuzz import (
+    FUZZ_PATTERNS,
+    FuzzCase,
+    build_config,
+    build_graph,
+    load_bundle,
+    make_case,
+    replay_bundle,
+    run_case,
+    write_bundle,
+)
+from repro.validate.oracle import OracleReport
+
+
+class TestCaseGeneration:
+    def test_deterministic_in_seed_and_index(self):
+        assert make_case(3, 5) == make_case(3, 5)
+
+    def test_varies_across_index_and_seed(self):
+        cases = [make_case(0, i) for i in range(8)]
+        assert len({(c.generator, json.dumps(c.graph_params, sort_keys=True))
+                    for c in cases}) > 1
+        assert make_case(0, 0) != make_case(1, 0)
+
+    def test_case_fields_are_valid(self):
+        for index in range(12):
+            case = make_case(11, index)
+            assert case.generator in ("rmat", "erdos_renyi", "powerlaw")
+            assert case.pattern in FUZZ_PATTERNS
+            assert case.config_overrides["num_pes"] >= 2
+            assert "seed" in case.graph_params
+
+    def test_graph_rebuild_is_reproducible(self):
+        case = make_case(5, 2)
+        a, b = build_graph(case), build_graph(case)
+        assert a.num_vertices == b.num_vertices
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_config_rebuild(self):
+        case = make_case(5, 3)
+        config = build_config(case)
+        assert config.num_pes == case.config_overrides["num_pes"]
+        assert config.execution_width == case.config_overrides["execution_width"]
+
+    def test_label_mentions_coordinates(self):
+        case = make_case(4, 9)
+        assert "seed=4" in case.label and "#9" in case.label
+
+
+class TestFuzzRuns:
+    def test_small_burst_passes(self, tmp_path):
+        report = run_fuzz(2, 7, out_dir=tmp_path)
+        assert report.ok, report.render()
+        assert report.bundles == []
+        assert not list(tmp_path.iterdir())
+        assert "all passed" in report.render()
+
+    def test_single_case_with_invariants(self):
+        outcome = run_case(make_case(7, 0))
+        assert outcome.ok, outcome.render()
+
+    def test_failure_writes_bundle(self, tmp_path, monkeypatch):
+        def failing_run_case(case, *, policies=None, naive_limit=None):
+            return OracleReport(
+                label=case.label, pattern=case.pattern,
+                reference_count=3, reference_tasks_per_depth=[1, 2, 3],
+                disagreements=["shogun: 4 matches, reference miner found 3"],
+            )
+
+        monkeypatch.setattr(fuzz_mod, "run_case", failing_run_case)
+        lines = []
+        report = run_fuzz(1, 0, out_dir=tmp_path, progress=lines.append)
+        assert not report.ok
+        assert len(report.bundles) == 1
+        bundle = report.bundles[0]
+        assert bundle.exists()
+        assert "FAILED" in report.render()
+        assert any("FAILED" in line for line in lines)
+
+        payload = json.loads(bundle.read_text())
+        assert payload["case"]["seed"] == 0
+        assert payload["failure"]["disagreements"]
+        assert "repro validate fuzz --replay" in payload["replay"]
+
+    def test_bundle_roundtrip_and_replay(self, tmp_path):
+        case = make_case(7, 0)
+        report = run_case(case)
+        path = write_bundle(tmp_path, case, report)
+        assert load_bundle(path) == case
+        replayed = replay_bundle(path, policies=("shogun",))
+        assert replayed.ok, replayed.render()
+        assert replayed.reference_count == report.reference_count
+
+    def test_bundle_filename_is_addressable(self, tmp_path):
+        case = make_case(12, 34)
+        path = write_bundle(
+            tmp_path, case,
+            OracleReport(label=case.label, pattern=case.pattern,
+                         reference_count=0, reference_tasks_per_depth=[]),
+        )
+        assert path.name == "fuzz-seed12-case34.json"
+
+    def test_fuzz_case_dataclass_roundtrip(self):
+        case = make_case(9, 1)
+        clone = FuzzCase(**json.loads(json.dumps(case.__dict__)))
+        assert clone == case

@@ -1,0 +1,118 @@
+"""Tests for the golden-metrics registry (repro.validate.golden).
+
+The first test is the pytest integration the registry exists for: every
+committed snapshot under ``tests/golden/`` must match a live simulation,
+field by field.  The rest exercise the update/diff/missing flows against
+a temporary directory so they never touch the committed goldens.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import SimConfig
+from repro.validate import check_golden, update_golden
+from repro.validate.golden import (
+    GOLDEN_SCALE,
+    default_golden_dir,
+    diff_values,
+    golden_matrix,
+    snapshot_path,
+)
+
+#: Fast settings for the tmp-dir flow tests (committed goldens use the
+#: evaluation config at scale 0.3; these only test the machinery).
+FAST = dict(scale=0.1, config=SimConfig(num_pes=2))
+
+
+class TestCommittedGoldens:
+    def test_snapshots_exist(self):
+        for dataset, pattern, policy, scale in golden_matrix():
+            assert snapshot_path(dataset, pattern, policy, scale).exists()
+
+    def test_live_runs_match_snapshots(self):
+        report = check_golden(scale=GOLDEN_SCALE)
+        assert report.ok, report.render()
+        assert all(cell.status == "ok" for cell in report.cells)
+        assert len(report.cells) == 10
+
+    def test_default_dir_is_tests_golden(self):
+        assert default_golden_dir().name == "golden"
+        assert default_golden_dir().parent.name == "tests"
+
+
+class TestGoldenFlows:
+    def test_update_creates_then_check_passes(self, tmp_path):
+        created = update_golden(golden_dir=tmp_path, **FAST)
+        assert created.ok
+        assert all(cell.status == "created" for cell in created.cells)
+        checked = check_golden(golden_dir=tmp_path, **FAST)
+        assert checked.ok
+        assert all(cell.status == "ok" for cell in checked.cells)
+
+    def test_missing_snapshot_reported(self, tmp_path):
+        update_golden(golden_dir=tmp_path, **FAST)
+        victim = snapshot_path("wi", "tc", "shogun", 0.1, golden_dir=tmp_path)
+        victim.unlink()
+        report = check_golden(golden_dir=tmp_path, **FAST)
+        assert not report.ok
+        statuses = {cell.label: cell.status for cell in report.cells}
+        assert statuses["wi-tc-shogun@0.1"] == "missing"
+        assert sum(1 for s in statuses.values() if s == "ok") == 9
+
+    def test_corrupted_field_yields_readable_diff(self, tmp_path):
+        update_golden(golden_dir=tmp_path, **FAST)
+        victim = snapshot_path("wi", "tc", "bfs", 0.1, golden_dir=tmp_path)
+        payload = json.loads(victim.read_text())
+        payload["metrics"]["cycles"] += 1000.0
+        victim.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        report = check_golden(golden_dir=tmp_path, **FAST)
+        assert not report.ok
+        bad = next(c for c in report.cells if c.policy == "bfs")
+        assert bad.status == "diff"
+        assert any("metrics.cycles" in d for d in bad.diffs)
+        assert "--update" in report.render()
+
+    def test_update_repairs_drift(self, tmp_path):
+        update_golden(golden_dir=tmp_path, **FAST)
+        victim = snapshot_path("wi", "4cl", "dfs", 0.1, golden_dir=tmp_path)
+        payload = json.loads(victim.read_text())
+        payload["metrics"]["matches"] += 5
+        victim.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        repaired = update_golden(golden_dir=tmp_path, **FAST)
+        assert repaired.ok
+        statuses = {cell.label: cell.status for cell in repaired.cells}
+        assert statuses["wi-4cl-dfs@0.1"] == "updated"
+        assert check_golden(golden_dir=tmp_path, **FAST).ok
+
+    def test_config_drift_is_its_own_diff(self, tmp_path):
+        update_golden(golden_dir=tmp_path, **FAST)
+        report = check_golden(
+            golden_dir=tmp_path, scale=0.1, config=SimConfig(num_pes=4)
+        )
+        assert not report.ok
+        diffs = [d for cell in report.cells for d in cell.diffs]
+        assert any(d.startswith("config.num_pes") for d in diffs)
+
+
+class TestDiffValues:
+    def test_equal_values_no_diff(self):
+        assert diff_values({"a": [1, 2], "b": 3}, {"a": [1, 2], "b": 3}) == []
+
+    def test_scalar_mismatch(self):
+        assert diff_values({"a": 1}, {"a": 2}) == ["a: golden 1 != actual 2"]
+
+    def test_missing_and_new_fields(self):
+        diffs = diff_values({"gone": 1}, {"new": 2})
+        assert any("missing" in d for d in diffs)
+        assert any("unexpected new field" in d for d in diffs)
+
+    def test_nested_paths(self):
+        diffs = diff_values({"m": {"pe": [{"x": 1}]}}, {"m": {"pe": [{"x": 9}]}})
+        assert diffs == ["m.pe[0].x: golden 1 != actual 9"]
+
+    def test_list_length_mismatch(self):
+        diffs = diff_values({"v": [1, 2, 3]}, {"v": [1, 2]})
+        assert any("length 2 != golden length 3" in d for d in diffs)

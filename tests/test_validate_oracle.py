@@ -1,0 +1,114 @@
+"""Tests for the cross-policy differential oracle (repro.validate.oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.accelerator as accelerator_mod
+from repro.sim import SimConfig
+from repro.validate import oracle_cell, run_oracle
+from repro.validate.oracle import ORACLE_POLICIES
+
+
+class TestRunOracle:
+    def test_agreement_on_fixture(self, small_er, sched_tc):
+        report = run_oracle(
+            small_er, sched_tc, config=SimConfig(num_pes=2), label="er30"
+        )
+        assert report.ok, report.render()
+        assert len(report.outcomes) == len(ORACLE_POLICIES)
+        # 30 vertices: the naive counter runs and agrees.
+        assert report.naive_count == report.reference_count
+        matches = {out.matches for out in report.outcomes}
+        assert matches == {report.reference_count}
+
+    def test_per_depth_totals_agree(self, small_er, sched_4cl):
+        report = run_oracle(small_er, sched_4cl, config=SimConfig(num_pes=2))
+        assert report.ok, report.render()
+        for out in report.outcomes:
+            assert out.tasks_per_depth == report.reference_tasks_per_depth
+        assert len(report.reference_tasks_per_depth) == 4
+
+    def test_with_invariant_checking(self, small_er, sched_tc):
+        report = run_oracle(
+            small_er, sched_tc, config=SimConfig(num_pes=2),
+            check_invariants=True,
+        )
+        assert report.ok, report.render()
+
+    def test_naive_limit_skips_counter(self, small_er, sched_tc):
+        report = run_oracle(
+            small_er, sched_tc, config=SimConfig(num_pes=2), naive_limit=0
+        )
+        assert report.naive_count is None
+        assert report.ok
+        assert "naive=skipped" in report.render()
+
+    def test_policy_subset(self, small_er, sched_tc):
+        report = run_oracle(
+            small_er, sched_tc, config=SimConfig(num_pes=2),
+            policies=("shogun", "bfs"),
+        )
+        assert [out.policy for out in report.outcomes] == ["shogun", "bfs"]
+        assert report.ok
+
+    def test_detects_corrupted_match_count(
+        self, small_er, sched_tc, monkeypatch
+    ):
+        real_simulate = accelerator_mod.simulate
+
+        def corrupt_shogun(graph, schedule, *, policy="shogun", config=None):
+            metrics = real_simulate(
+                graph, schedule, policy=policy, config=config
+            )
+            if policy == "shogun":
+                metrics.matches += 1
+            return metrics
+
+        monkeypatch.setattr(accelerator_mod, "simulate", corrupt_shogun)
+        report = run_oracle(small_er, sched_tc, config=SimConfig(num_pes=2))
+        assert not report.ok
+        assert any("shogun" in d for d in report.disagreements)
+        assert "MISMATCH" in report.render()
+
+    def test_detects_corrupted_depth_totals(
+        self, small_er, sched_tc, monkeypatch
+    ):
+        real_simulate = accelerator_mod.simulate
+
+        def corrupt_depths(graph, schedule, *, policy="shogun", config=None):
+            metrics = real_simulate(
+                graph, schedule, policy=policy, config=config
+            )
+            if policy == "dfs":
+                metrics.tasks_per_depth[0] += 1
+            return metrics
+
+        monkeypatch.setattr(accelerator_mod, "simulate", corrupt_depths)
+        report = run_oracle(small_er, sched_tc, config=SimConfig(num_pes=2))
+        assert not report.ok
+        assert any("per-depth" in d and "dfs" in d for d in report.disagreements)
+
+    def test_render_lists_every_policy(self, small_er, sched_tc):
+        report = run_oracle(small_er, sched_tc, config=SimConfig(num_pes=2))
+        text = report.render()
+        for policy in ORACLE_POLICIES:
+            assert policy in text
+
+
+class TestOracleCell:
+    def test_wi_triangle_cell(self):
+        report = oracle_cell("wi", "tc", scale=0.3)
+        assert report.ok, report.render()
+        assert report.naive_count == report.reference_count
+        assert report.label == "wi@0.3"
+
+    def test_cell_reuses_run_cell_memo(self):
+        # Second call must hit repro.experiments.runner's in-process memo,
+        # so it is dramatically cheaper — just assert it stays consistent.
+        first = oracle_cell("wi", "tc", scale=0.3)
+        second = oracle_cell("wi", "tc", scale=0.3)
+        assert first.reference_count == second.reference_count
+        assert [o.cycles for o in first.outcomes] == [
+            o.cycles for o in second.outcomes
+        ]
