@@ -10,6 +10,8 @@ Usage (also via ``python -m repro``)::
     repro experiment figure9 table2 --jobs 4        # regenerate artifacts
     repro cache info                                # persistent result cache
     repro cache clear
+    repro cache graphs info                         # binary graph store
+    repro cache graphs clear
     repro validate all --scale 0.3                  # oracle + invariants + goldens
     repro validate golden --update                  # re-bless golden snapshots
     repro validate fuzz --runs 20 --seed 7          # randomized differential tests
@@ -197,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the case stored in a repro bundle instead of fuzzing",
     )
 
-    cache = sub.add_parser("cache", help="inspect or clear the persistent result cache")
+    cache = sub.add_parser("cache", help="inspect or clear the persistent caches")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     for action, text in (("info", "show entry count, size and code salt"),
                          ("clear", "remove every cached result")):
@@ -205,6 +207,19 @@ def build_parser() -> argparse.ArgumentParser:
         action_parser.add_argument(
             "--cache-dir", default=None,
             help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+        )
+    graphs = cache_sub.add_parser(
+        "graphs", help="inspect or clear the binary graph store"
+    )
+    graphs_sub = graphs.add_subparsers(dest="graphs_command", required=True)
+    for action, text in (
+        ("info", "show stored graphs, count sidecars, size and graph salt"),
+        ("clear", "remove every stored graph and count sidecar"),
+    ):
+        action_parser = graphs_sub.add_parser(action, help=text)
+        action_parser.add_argument(
+            "--graph-dir", default=None,
+            help="graph store directory (default: <cache-root>/graphs)",
         )
     return parser
 
@@ -451,11 +466,22 @@ def cmd_validate(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    from .graph.arena import GraphStore
     from .orchestrator import ResultCache
 
+    if args.cache_command == "graphs":
+        store = GraphStore(args.graph_dir) if args.graph_dir else GraphStore()
+        if args.graphs_command == "info":
+            print(store.info().render())
+        else:
+            removed = store.clear()
+            print(f"removed {removed} stored graph file(s) from {store.root}")
+        return 0
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     if args.cache_command == "info":
         print(cache.info().render())
+        print()
+        print(GraphStore().info().render())
     else:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")

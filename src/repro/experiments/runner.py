@@ -114,11 +114,33 @@ def get_schedule(pattern: str) -> MatchingSchedule:
 
 
 def reference_count(dataset: str, pattern: str, *, scale: Optional[float] = None) -> int:
-    """Exact match count from the software reference miner (memoized)."""
-    key = (dataset, pattern, scale if scale is not None else default_scale())
-    if key not in _GRAPH_COUNTS:
-        _GRAPH_COUNTS[key] = count_matches(get_graph(dataset, scale), get_schedule(pattern))
-    return _GRAPH_COUNTS[key]
+    """Exact match count from the software reference miner (memoized).
+
+    Counts are also persisted in the binary graph store (keyed by the
+    graph's content key plus a miner-source salt), so concurrent
+    orchestrator workers and later cold runs mine each
+    ``(dataset, pattern, scale)`` once instead of once per process.
+    """
+    scale_val = scale if scale is not None else default_scale()
+    key = (dataset, pattern, scale_val)
+    if key in _GRAPH_COUNTS:
+        return _GRAPH_COUNTS[key]
+    from ..graph.arena import default_graph_store
+
+    store = default_graph_store()
+    if store is not None:
+        cached = store.get_count(dataset, scale_val, pattern)
+        if cached is not None:
+            _GRAPH_COUNTS[key] = cached
+            return cached
+    count = count_matches(get_graph(dataset, scale), get_schedule(pattern))
+    if store is not None:
+        try:
+            store.put_count(dataset, scale_val, pattern, count)
+        except OSError:
+            pass
+    _GRAPH_COUNTS[key] = count
+    return count
 
 
 def simulate_cell(

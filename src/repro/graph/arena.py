@@ -1,0 +1,559 @@
+"""Dataset staging: binary graph store and shared-memory graph arena.
+
+Two complementary mechanisms move graph structure to compute without
+rebuilding it (see docs/orchestrator.md, "Dataset staging"):
+
+* :class:`GraphStore` — a content-addressed binary cache of CSR arrays
+  under ``<cache-root>/graphs/``.  A dataset's key digests its code,
+  scale and the source of every graph-defining module, so repeated cold
+  runs skip the synthetic generators (and edge-list text parsing)
+  entirely while a behavioural change to the generators still turns the
+  store cold.  The store also persists exact reference match counts per
+  ``(graph, pattern)``, keyed by a wider salt that includes the miner.
+* :class:`GraphArena` — parent-side ``multiprocessing.shared_memory``
+  segments holding one graph's ``indptr``/``indices`` arrays.  The
+  orchestrator stages every distinct ``(dataset, scale)`` once, passes
+  the picklable :class:`ArenaHandle` descriptors to its workers, and
+  each worker attaches **read-only, zero-copy** views instead of
+  rebuilding the graph per process.
+
+Both layers are pure caches of immutable inputs: every graph a consumer
+observes is bit-identical to the one the builders produce, which is what
+keeps every accounted simulator metric byte-stable through the staged
+path (tests/golden is the referee).
+
+Worker-side attachment keeps a per-process ``(code, scale) → CSRGraph``
+memo.  Pool workers share the creating process's ``resource_tracker``
+(the tracker fd is inherited on fork and forwarded on spawn), whose
+registry is a set — a worker's duplicate registration on attach is a
+no-op, and only the creator unlinks (guaranteed by the orchestrator on
+success, failure and ``BrokenProcessPool``).  Crucially, workers must
+*not* unregister on attach: that would strip the creator's registration
+from the shared tracker, losing crash cleanup and making the creator's
+own unlink-time unregister an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import secrets
+import tempfile
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .csr import CSRGraph
+
+#: Bump when the on-disk graph entry format changes; part of every key,
+#: so old entries become misses instead of needing a migration.
+STORE_SCHEMA = 1
+
+#: Modules whose source defines what a *graph* is (generation, CSR
+#: normalization, parsing).  Editing any of them invalidates every
+#: stored graph.
+GRAPH_SALT_SOURCES = ("csr.py", "builders.py", "generators.py", "datasets.py", "io.py")
+
+#: Additional package subtrees that define what a *match count* is.
+COUNT_SALT_SOURCES = ("mining", "patterns")
+
+_SHM_PREFIX = "repro-arena-"
+
+
+# ----------------------------------------------------------------------
+# environment knobs
+# ----------------------------------------------------------------------
+
+def _env_flag(name: str, default: str = "1") -> bool:
+    return os.environ.get(name, default).lower() not in ("0", "false", "off")
+
+
+def store_enabled() -> bool:
+    """Whether the binary graph store is on (``REPRO_CACHE`` and
+    ``REPRO_GRAPH_STORE`` must both be unset or truthy)."""
+    return _env_flag("REPRO_CACHE") and _env_flag("REPRO_GRAPH_STORE")
+
+
+def arena_enabled() -> bool:
+    """Whether shared-memory staging is on (``REPRO_ARENA``)."""
+    return _env_flag("REPRO_ARENA")
+
+
+def _cache_root() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+# ----------------------------------------------------------------------
+# content salts
+# ----------------------------------------------------------------------
+
+def _digest_sources(rels: Tuple[str, ...], package_root: Path) -> "hashlib._Hash":
+    digest = hashlib.sha256()
+    for rel in rels:
+        path = package_root / rel
+        sources = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for source in sources:
+            digest.update(str(source.relative_to(package_root)).encode())
+            digest.update(source.read_bytes())
+    return digest
+
+
+@lru_cache(maxsize=1)
+def graph_salt() -> str:
+    """Digest of the graph-defining source (or ``REPRO_CACHE_SALT``)."""
+    env = os.environ.get("REPRO_CACHE_SALT")
+    if env:
+        return f"graph-{env}"
+    package_root = Path(__file__).resolve().parent  # src/repro/graph
+    digest = _digest_sources(GRAPH_SALT_SOURCES, package_root)
+    digest.update(str(STORE_SCHEMA).encode())
+    return digest.hexdigest()[:16]
+
+
+@lru_cache(maxsize=1)
+def count_salt() -> str:
+    """Digest of the count-defining source: graphs plus the miner."""
+    env = os.environ.get("REPRO_CACHE_SALT")
+    if env:
+        return f"count-{env}"
+    package_root = Path(__file__).resolve().parents[1]  # src/repro
+    digest = _digest_sources(COUNT_SALT_SOURCES, package_root)
+    digest.update(graph_salt().encode())
+    return digest.hexdigest()[:16]
+
+
+def dataset_graph_key(code: str, scale: float) -> str:
+    """Content-addressed key for one registry dataset at one scale."""
+    blob = json.dumps(
+        {"code": code, "scale": repr(float(scale)), "salt": graph_salt()},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def edge_list_key(data: bytes, name: str) -> str:
+    """Content-addressed key for a parsed edge-list file."""
+    digest = hashlib.sha256()
+    digest.update(b"edge-list\0")
+    digest.update(name.encode("utf-8", "replace") + b"\0")
+    digest.update(graph_salt().encode())
+    digest.update(data)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# binary graph store
+# ----------------------------------------------------------------------
+
+@dataclass
+class GraphStoreInfo:
+    """Aggregate statistics for ``repro cache graphs info``."""
+
+    root: str
+    graphs: int
+    counts: int
+    bytes: int
+    salt: str
+
+    def render(self) -> str:
+        return (
+            f"graph store:  {self.root}\n"
+            f"graphs:       {self.graphs}\n"
+            f"count files:  {self.counts}\n"
+            f"size:         {self.bytes} bytes\n"
+            f"graph salt:   {self.salt}"
+        )
+
+
+class GraphStore:
+    """Content-addressed binary CSR cache (``<cache-root>/graphs/``).
+
+    Layout mirrors the result cache: ``<root>/<key[:2]>/<key>.npz`` for
+    graphs and ``<key>.counts.json`` sidecars for exact match counts.
+    Writes are atomic (temp file + ``os.replace``); corrupt or
+    stale-salt entries read as misses and are removed.
+    """
+
+    def __init__(self, root: "os.PathLike | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else _cache_root() / "graphs"
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def counts_path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.counts.json"
+
+    # ------------------------------------------------------------------
+    def get_key(self, key: str, *, name: str) -> Optional[CSRGraph]:
+        """Load one graph by key, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                indptr = np.ascontiguousarray(data["indptr"], dtype=np.int64)
+                indices = np.ascontiguousarray(data["indices"], dtype=np.int64)
+            return CSRGraph(indptr, indices, name=name, validate=False)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put_key(self, key: str, graph: CSRGraph) -> None:
+        """Atomically persist one graph under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, indptr=graph.indptr, indices=graph.indices)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, code: str, scale: float) -> Optional[CSRGraph]:
+        """Load one registry dataset, or None."""
+        return self.get_key(dataset_graph_key(code, scale), name=code)
+
+    def put(self, code: str, scale: float, graph: CSRGraph) -> None:
+        """Persist one registry dataset."""
+        self.put_key(dataset_graph_key(code, scale), graph)
+
+    # ------------------------------------------------------------------
+    # exact reference counts (sidecar per graph key)
+    # ------------------------------------------------------------------
+    def get_count(self, code: str, scale: float, pattern: str) -> Optional[int]:
+        """Persisted exact match count, or None (stale salt = miss)."""
+        path = self.counts_path_for(dataset_graph_key(code, scale))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            entry = data[pattern]
+            if entry.get("salt") != count_salt():
+                return None
+            return int(entry["count"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def put_count(self, code: str, scale: float, pattern: str, count: int) -> None:
+        """Merge one exact count into the dataset's sidecar (atomic)."""
+        path = self.counts_path_for(dataset_graph_key(code, scale))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(data, dict):
+                data = {}
+        except (OSError, ValueError):
+            data = {}
+        data[pattern] = {"count": int(count), "salt": count_salt()}
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(data, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir() and len(shard.name) == 2:
+                yield from sorted(shard.glob("*.npz"))
+                yield from sorted(shard.glob("*.counts.json"))
+
+    def info(self) -> GraphStoreInfo:
+        graphs = counts = size = 0
+        for path in self._entry_paths():
+            if path.name.endswith(".npz"):
+                graphs += 1
+            else:
+                counts += 1
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return GraphStoreInfo(
+            root=str(self.root), graphs=graphs, counts=counts,
+            bytes=size, salt=graph_salt(),
+        )
+
+    def clear(self) -> int:
+        """Remove every stored graph and count file; returns the count."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for shard in list(self.root.iterdir()) if self.root.is_dir() else []:
+            if shard.is_dir() and len(shard.name) == 2:
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed
+
+
+def default_graph_store() -> Optional[GraphStore]:
+    """The environment-configured store, or None when disabled."""
+    if not store_enabled():
+        return None
+    return GraphStore()
+
+
+# ----------------------------------------------------------------------
+# shared-memory arena
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Picklable descriptor of one staged graph (crosses the pool)."""
+
+    code: str
+    scale: float
+    graph_name: str
+    shm_name: str
+    indptr_len: int
+    indices_len: int
+
+    @property
+    def key(self) -> Tuple[str, float]:
+        return (self.code, float(self.scale))
+
+
+_AVAILABLE: Optional[bool] = None
+
+
+class GraphArena:
+    """Parent-side owner of shared-memory graph segments.
+
+    One segment per staged graph, holding ``indptr`` then ``indices``
+    as contiguous ``int64``.  The creator is the only tracked owner;
+    :meth:`close` (idempotent, also run by the context manager) closes
+    and unlinks every segment, so neither success, failure nor a broken
+    pool can leave ``/dev/shm`` residue.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[object] = []
+        self._handles: Dict[Tuple[str, float], ArenaHandle] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available() -> bool:
+        """Whether shared-memory segments can be created here."""
+        global _AVAILABLE
+        if not arena_enabled():
+            return False
+        if _AVAILABLE is None:
+            try:
+                from multiprocessing import shared_memory
+
+                probe = shared_memory.SharedMemory(create=True, size=8)
+                probe.close()
+                probe.unlink()
+                _AVAILABLE = True
+            except Exception:
+                _AVAILABLE = False
+        return _AVAILABLE
+
+    # ------------------------------------------------------------------
+    def stage(self, code: str, scale: float, graph: CSRGraph) -> ArenaHandle:
+        """Copy one graph's CSR arrays into a fresh shared segment."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        key = (code, float(scale))
+        if key in self._handles:
+            return self._handles[key]
+        from multiprocessing import shared_memory
+
+        nbytes = graph.indptr.nbytes + graph.indices.nbytes
+        shm = None
+        for _ in range(8):  # name collisions are unlikely but possible
+            name = f"{_SHM_PREFIX}{os.getpid()}-{secrets.token_hex(6)}"
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 8), name=name
+                )
+                break
+            except FileExistsError:
+                continue
+        if shm is None:  # pragma: no cover - 8 collisions in a row
+            raise OSError("could not allocate a shared-memory segment name")
+        try:
+            view = np.ndarray(graph.indptr.shape, dtype=np.int64, buffer=shm.buf)
+            view[:] = graph.indptr
+            view = np.ndarray(
+                graph.indices.shape, dtype=np.int64,
+                buffer=shm.buf, offset=graph.indptr.nbytes,
+            )
+            view[:] = graph.indices
+            del view  # release the exported buffer so close() can succeed
+        except BaseException:
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:
+                pass
+            raise
+        handle = ArenaHandle(
+            code=code, scale=float(scale), graph_name=graph.name,
+            shm_name=shm.name, indptr_len=len(graph.indptr),
+            indices_len=len(graph.indices),
+        )
+        self._segments.append(shm)
+        self._handles[key] = handle
+        return handle
+
+    def handles(self) -> List[ArenaHandle]:
+        return list(self._handles.values())
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - lingering export
+                pass
+            try:
+                shm.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self._segments = []
+        self._handles = {}
+
+    def __enter__(self) -> "GraphArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# worker-side attachment
+# ----------------------------------------------------------------------
+
+#: Handles announced by the pool initializer, by ``(code, scale)``.
+_HANDLES: Dict[Tuple[str, float], ArenaHandle] = {}
+#: Per-process attached graphs (the zero-rebuild memo).
+_ATTACHED: Dict[Tuple[str, float], CSRGraph] = {}
+#: Attached segments, kept referenced so their mappings stay alive.
+_SEGMENTS: List[object] = []
+
+
+def attach(handle: ArenaHandle) -> CSRGraph:
+    """Attach one staged graph read-only (memoized per process).
+
+    The returned :class:`CSRGraph` wraps zero-copy, non-writable views
+    of the shared segment.  Attaching re-registers the name with the
+    resource tracker shared with the creator — a set, so a no-op — and
+    deliberately does not unregister: only the creator unlinks, and its
+    unlink must find the registration intact.
+    """
+    key = handle.key
+    if key in _ATTACHED:
+        return _ATTACHED[key]
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    indptr = np.ndarray((handle.indptr_len,), dtype=np.int64, buffer=shm.buf)
+    indices = np.ndarray(
+        (handle.indices_len,), dtype=np.int64,
+        buffer=shm.buf, offset=handle.indptr_len * 8,
+    )
+    indptr.flags.writeable = False
+    indices.flags.writeable = False
+    graph = CSRGraph(indptr, indices, name=handle.graph_name, validate=False)
+    _SEGMENTS.append(shm)
+    _ATTACHED[key] = graph
+    from . import datasets
+
+    datasets._CACHE[key] = graph  # load_dataset() now resolves to the arena
+    return graph
+
+
+def worker_init(handles: List[ArenaHandle]) -> None:
+    """Pool initializer: announce and eagerly attach every staged graph.
+
+    Attachment failures are silently ignored — the worker falls back to
+    the binary store / rebuild path with identical results.
+    """
+    for handle in handles:
+        _HANDLES[handle.key] = handle
+        try:
+            attach(handle)
+        except Exception:
+            pass
+
+
+def resolve_graph(
+    code: str,
+    scale: float,
+    handle: Optional[ArenaHandle] = None,
+) -> Tuple[CSRGraph, str, float]:
+    """Materialize one dataset the cheapest way available.
+
+    Returns ``(graph, source, seconds)`` where ``source`` is one of
+    ``arena`` (shared-memory attach), ``memo`` (already materialized in
+    this process — the parent's serial path or a forked worker's
+    inheritance), ``binary-cache`` (the :class:`GraphStore`) or
+    ``rebuilt`` (the synthetic generator ran).
+    """
+    key = (code, float(scale))
+    start = time.perf_counter()
+    if key in _ATTACHED:
+        return _ATTACHED[key], "arena", time.perf_counter() - start
+    from . import datasets
+
+    if key in datasets._CACHE:
+        return datasets._CACHE[key], "memo", time.perf_counter() - start
+    staged = handle if handle is not None else _HANDLES.get(key)
+    if staged is not None:
+        try:
+            graph = attach(staged)
+            return graph, "arena", time.perf_counter() - start
+        except Exception:
+            pass
+    graph, source = datasets.load_dataset_with_source(code, scale=scale)
+    return graph, source, time.perf_counter() - start
+
+
+def _reset_local() -> None:
+    """Drop this process's attachments (tests only)."""
+    _HANDLES.clear()
+    _ATTACHED.clear()
+    for shm in _SEGMENTS:
+        try:
+            shm.close()
+        except Exception:
+            pass
+    _SEGMENTS.clear()

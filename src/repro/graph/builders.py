@@ -30,20 +30,45 @@ def from_edges(
     otherwise it is inferred as ``max vertex id + 1``.
     """
     pairs = []
-    max_v = -1
     for e in edges:
         try:
             u, v = int(e[0]), int(e[1])
         except (TypeError, ValueError, IndexError) as exc:
             raise GraphError(f"bad edge {e!r}") from exc
-        if u < 0 or v < 0:
-            raise GraphError(f"negative vertex id in edge ({u}, {v})")
-        max_v = max(max_v, u, v)
-        if u == v:
-            continue
-        if u > v:
-            u, v = v, u
         pairs.append((u, v))
+    arr = (
+        np.asarray(pairs, dtype=np.int64)
+        if pairs
+        else np.empty((0, 2), dtype=np.int64)
+    )
+    return from_edge_array(arr, num_vertices, name=name)
+
+
+def from_edge_array(
+    pairs: np.ndarray,
+    num_vertices: int | None = None,
+    *,
+    name: str = "graph",
+) -> CSRGraph:
+    """Vectorized :func:`from_edges` over an ``(E, 2)`` integer array.
+
+    Identical normalization and error behaviour: negative ids raise,
+    self loops are dropped (after contributing to the inferred vertex
+    count), duplicates and reversed duplicates merge.
+    """
+    arr = np.ascontiguousarray(pairs, dtype=np.int64)
+    if arr.size == 0:
+        arr = arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError(f"edge array must be (E, 2), got shape {arr.shape}")
+
+    max_v = -1
+    if len(arr):
+        negative = arr < 0
+        if negative.any():
+            u, v = arr[np.nonzero(negative.any(axis=1))[0][0]]
+            raise GraphError(f"negative vertex id in edge ({u}, {v})")
+        max_v = int(arr.max())
 
     inferred = max_v + 1
     if num_vertices is None:
@@ -53,11 +78,13 @@ def from_edges(
             f"num_vertices={num_vertices} but edges reference vertex {max_v}"
         )
 
-    if not pairs:
+    # Normalize (u < v) and drop self loops, then merge duplicates.
+    arr = arr[arr[:, 0] != arr[:, 1]]
+    if not len(arr):
         indptr = np.zeros(num_vertices + 1, dtype=np.int64)
         return CSRGraph(indptr, np.empty(0, dtype=np.int64), name=name, validate=False)
-
-    arr = np.unique(np.asarray(pairs, dtype=np.int64), axis=0)
+    arr = np.stack([arr.min(axis=1), arr.max(axis=1)], axis=1)
+    arr = np.unique(arr, axis=0)
     # Symmetrize: every undirected edge appears once per endpoint.
     src = np.concatenate([arr[:, 0], arr[:, 1]])
     dst = np.concatenate([arr[:, 1], arr[:, 0]])

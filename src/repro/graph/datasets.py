@@ -194,14 +194,43 @@ def load_dataset(code: str, *, scale: float = 1.0) -> CSRGraph:
     """Build (and memoize) the synthetic stand-in for a dataset code.
 
     ``scale`` multiplies the vertex count; the same seeds are used at all
-    scales, so results at a given scale are fully reproducible.
+    scales, so results at a given scale are fully reproducible.  Cold
+    processes consult the binary graph store first (see
+    :mod:`repro.graph.arena`), so repeated runs skip generation.
+    """
+    return load_dataset_with_source(code, scale=scale)[0]
+
+
+def load_dataset_with_source(code: str, *, scale: float = 1.0) -> Tuple[CSRGraph, str]:
+    """Like :func:`load_dataset`, also reporting how the graph arrived.
+
+    The source is ``"memo"`` (in-process cache), ``"binary-cache"`` (the
+    content-addressed :class:`~repro.graph.arena.GraphStore`) or
+    ``"rebuilt"`` (the synthetic generator ran; the result is persisted
+    to the store when one is enabled).
     """
     if scale <= 0:
         raise GraphError("scale must be positive")
     key = (code, float(scale))
-    if key not in _CACHE:
-        _CACHE[key] = get_spec(code).builder(float(scale))
-    return _CACHE[key]
+    if key in _CACHE:
+        return _CACHE[key], "memo"
+    spec = get_spec(code)  # validates the code before any store probe
+    from .arena import default_graph_store
+
+    store = default_graph_store()
+    if store is not None:
+        graph = store.get(code, float(scale))
+        if graph is not None:
+            _CACHE[key] = graph
+            return graph, "binary-cache"
+    graph = spec.builder(float(scale))
+    _CACHE[key] = graph
+    if store is not None:
+        try:
+            store.put(code, float(scale), graph)
+        except OSError:  # a read-only checkout must not break loading
+            pass
+    return graph, "rebuilt"
 
 
 def clear_cache() -> None:

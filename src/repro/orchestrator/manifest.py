@@ -32,6 +32,11 @@ class CellOutcome:
     seconds: float = 0.0
     attempts: int = 0
     error: Optional[Dict[str, str]] = None
+    #: Execution context of the last attempt: worker ``pid``, how the
+    #: dataset was materialized (``dataset_source`` is one of ``arena`` /
+    #: ``memo`` / ``binary-cache`` / ``rebuilt``) and the graph
+    #: attach/build time in ``graph_seconds``.  None for cached cells.
+    worker: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -51,6 +56,10 @@ class RunManifest:
     cells: List[CellOutcome] = field(default_factory=list)
     experiments: List[ExperimentOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: One record per distinct ``(dataset, scale)`` staged before the
+    #: waves ran: how the parent materialized it, how long that took,
+    #: and the shared-memory segment name when the arena was used.
+    staging: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -97,10 +106,26 @@ class RunManifest:
             f"{self.serial_estimate_seconds:.2f}s, speedup estimate "
             f"{self.speedup_estimate():.1f}x",
         ]
+        if self.staging:
+            staged = sum(1 for s in self.staging if "arena" in s)
+            sources = ", ".join(
+                f"{s.get('dataset')}@{s.get('scale')}:{s.get('source', '?')}"
+                for s in self.staging
+            )
+            lines.append(
+                f"staged {len(self.staging)} graph(s), {staged} in shared "
+                f"memory — {sources}"
+            )
         for cell in self.failures():
             error = cell.error or {}
+            where = ""
+            if cell.worker:
+                where = (
+                    f" [pid {cell.worker.get('pid', '?')}, dataset via "
+                    f"{cell.worker.get('dataset_source', '?')}]"
+                )
             lines.append(
-                f"FAILED {cell.label} after {cell.attempts} attempt(s): "
+                f"FAILED {cell.label} after {cell.attempts} attempt(s){where}: "
                 f"{error.get('type', 'Error')}: {error.get('message', '')}"
             )
         for exp in self.experiments:
@@ -119,6 +144,7 @@ class RunManifest:
                 "computed": self.computed,
                 "failed": self.failed,
             },
+            "staging": [dict(s) for s in self.staging],
             "cells": [asdict(c) for c in self.cells],
             "experiments": [asdict(e) for e in self.experiments],
         }

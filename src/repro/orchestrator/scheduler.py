@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import inspect
 import multiprocessing
+import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -38,6 +39,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..graph.arena import ArenaHandle, GraphArena, arena_enabled, worker_init
 from ..sim.metrics import RunMetrics
 from .cache import ResultCache
 from .cells import CellSpec, cell_key
@@ -129,7 +131,7 @@ def plan_experiment(
 
 
 # ----------------------------------------------------------------------
-# worker entry point (top level so it pickles under any start method)
+# worker entry points (top level so they pickle under any start method)
 # ----------------------------------------------------------------------
 
 def _execute_cell(payload: Tuple) -> Tuple[str, Optional[dict], Optional[dict], float]:
@@ -156,6 +158,42 @@ def _execute_cell(payload: Tuple) -> Tuple[str, Optional[dict], Optional[dict], 
             "traceback": traceback.format_exc(),
         }
         return (key, None, error, time.perf_counter() - start)
+
+
+#: One unit of pool work: the payloads of every cell sharing a
+#: ``(dataset, pattern, scale)`` plus the staged graph's handle (or None).
+CellGroup = Tuple[Tuple[Tuple, ...], Optional[ArenaHandle]]
+
+
+def _execute_cell_group(
+    group: CellGroup,
+) -> List[Tuple[str, Optional[dict], Optional[dict], float, dict]]:
+    """Run one group of same-graph cells in this process.
+
+    The shared graph is materialized exactly once (shared-memory attach
+    when a handle is staged, else binary store / rebuild), then every
+    cell runs under the usual per-cell error isolation.  Each outcome
+    carries a ``worker`` record — pid, dataset source, graph seconds —
+    for the manifest's failure report.
+    """
+    payloads, handle = group
+    code, scale = payloads[0][1], payloads[0][5]
+    try:
+        from ..graph.arena import resolve_graph
+
+        _, source, graph_seconds = resolve_graph(code, scale, handle)
+    except BaseException:  # cells fall back to their own load path
+        source, graph_seconds = "unresolved", 0.0
+    worker = {
+        "pid": os.getpid(),
+        "dataset_source": source,
+        "graph_seconds": round(graph_seconds, 6),
+    }
+    results = []
+    for payload in payloads:
+        key, metrics_dict, error, seconds = _execute_cell(payload)
+        results.append((key, metrics_dict, error, seconds, dict(worker)))
+    return results
 
 
 def _spec_payload(key: str, spec: CellSpec) -> Tuple:
@@ -235,103 +273,211 @@ class Orchestrator:
         attempts = {key: 0 for key in pending}
         wave = dict(pending)
         total = len(specs)
-        while wave:
-            outcomes = self._run_wave(wave, done=len(results), total=total)
-            next_wave: Dict[str, CellSpec] = {}
-            for key, (metrics, error, seconds) in outcomes.items():
-                attempts[key] += 1
-                spec = wave[key]
-                if metrics is not None:
-                    results[key] = metrics
-                    manifest.cells.append(
-                        CellOutcome(key, spec.label(), "computed",
-                                    seconds, attempts[key])
-                    )
-                    if self.cache is not None:
-                        self.cache.put(spec, key, metrics, seconds)
-                elif attempts[key] <= self.retries:
-                    self._report(
-                        f"[retry {attempts[key]}/{self.retries}] {spec.label()}: "
-                        f"{(error or {}).get('type', 'Error')}"
-                    )
-                    next_wave[key] = spec
-                else:
-                    failures[key] = error or {}
-                    manifest.cells.append(
-                        CellOutcome(key, spec.label(), "failed",
-                                    seconds, attempts[key], error)
-                    )
-            wave = next_wave
+        arena: Optional[GraphArena] = None
+        handles: Dict[Tuple[str, float], ArenaHandle] = {}
+        if pending:
+            arena, handles = self._stage_graphs(pending, manifest)
+        try:
+            while wave:
+                outcomes = self._run_wave(
+                    wave, done=len(results), total=total, handles=handles
+                )
+                next_wave: Dict[str, CellSpec] = {}
+                for key, (metrics, error, seconds, worker) in outcomes.items():
+                    attempts[key] += 1
+                    spec = wave[key]
+                    if metrics is not None:
+                        results[key] = metrics
+                        manifest.cells.append(
+                            CellOutcome(key, spec.label(), "computed",
+                                        seconds, attempts[key], worker=worker)
+                        )
+                        if self.cache is not None:
+                            self.cache.put(spec, key, metrics, seconds)
+                    elif attempts[key] <= self.retries:
+                        self._report(
+                            f"[retry {attempts[key]}/{self.retries}] {spec.label()}: "
+                            f"{(error or {}).get('type', 'Error')}"
+                        )
+                        next_wave[key] = spec
+                    else:
+                        failures[key] = error or {}
+                        manifest.cells.append(
+                            CellOutcome(key, spec.label(), "failed",
+                                        seconds, attempts[key], error, worker)
+                        )
+                wave = next_wave
+        finally:
+            # Segments must never outlive the sweep — success, cell
+            # failure, timeout or a broken pool all land here.
+            if arena is not None:
+                arena.close()
         return results, failures
 
     # ------------------------------------------------------------------
+    def _stage_graphs(
+        self, pending: Dict[str, CellSpec], manifest: RunManifest
+    ) -> Tuple[Optional[GraphArena], Dict[Tuple[str, float], ArenaHandle]]:
+        """Materialize every distinct pending graph once, in the parent.
+
+        Graphs land in the process-local dataset memo (so the serial
+        path and forked workers inherit them) and — when a pool will be
+        used and shared memory works here — in a :class:`GraphArena`
+        whose handles workers attach to instead of rebuilding.  Staging
+        is best-effort: a dataset that fails to build is recorded and
+        left for its cells to report properly.
+        """
+        from ..graph.datasets import load_dataset_with_source
+
+        combos: Dict[Tuple[str, float], None] = {}
+        for spec in pending.values():
+            combos.setdefault((spec.dataset, spec.scale), None)
+        use_arena = (
+            self.jobs > 1 and len(pending) > 1
+            and arena_enabled() and GraphArena.available()
+        )
+        arena = GraphArena() if use_arena else None
+        handles: Dict[Tuple[str, float], ArenaHandle] = {}
+        try:
+            for code, scale in combos:
+                start = time.perf_counter()
+                record: Dict[str, object] = {"dataset": code, "scale": scale}
+                try:
+                    graph, source = load_dataset_with_source(code, scale=scale)
+                    record["source"] = source
+                    record["vertices"] = graph.num_vertices
+                    record["edges"] = graph.num_edges
+                    if arena is not None:
+                        handle = arena.stage(code, scale, graph)
+                        handles[(code, scale)] = handle
+                        record["arena"] = handle.shm_name
+                except Exception as exc:
+                    record["source"] = "error"
+                    record["error"] = f"{type(exc).__name__}: {exc}"
+                record["seconds"] = round(time.perf_counter() - start, 6)
+                manifest.staging.append(record)
+                self._report(
+                    f"[stage] {code}@{scale}: {record['source']} "
+                    f"({record['seconds']:.2f}s)"
+                )
+        except BaseException:
+            if arena is not None:
+                arena.close()
+            raise
+        return arena, handles
+
+    # ------------------------------------------------------------------
+    def _group_cells(
+        self,
+        wave: Dict[str, CellSpec],
+        handles: Dict[Tuple[str, float], ArenaHandle],
+    ) -> List[CellGroup]:
+        """Group a wave by shared graph and reference count.
+
+        Cells with the same ``(dataset, pattern, scale)`` run in one
+        worker task so the graph is materialized and the reference
+        count mined once per group instead of once per worker process.
+        Largest groups are issued first to keep the pool's tail short.
+        """
+        grouped: Dict[Tuple[str, str, float], List[Tuple]] = {}
+        for key, spec in wave.items():
+            grouped.setdefault(
+                (spec.dataset, spec.pattern, spec.scale), []
+            ).append(_spec_payload(key, spec))
+        ordered = sorted(grouped.items(), key=lambda item: -len(item[1]))
+        return [
+            (tuple(payloads), handles.get((dataset, scale)))
+            for (dataset, _pattern, scale), payloads in ordered
+        ]
+
+    # ------------------------------------------------------------------
     def _run_wave(
-        self, wave: Dict[str, CellSpec], *, done: int, total: int
-    ) -> Dict[str, Tuple[Optional[RunMetrics], Optional[dict], float]]:
-        if self.jobs > 1 and len(wave) > 1:
+        self,
+        wave: Dict[str, CellSpec],
+        *,
+        done: int,
+        total: int,
+        handles: Optional[Dict[Tuple[str, float], ArenaHandle]] = None,
+    ) -> Dict[str, Tuple[Optional[RunMetrics], Optional[dict], float, Optional[dict]]]:
+        groups = self._group_cells(wave, handles or {})
+        if self.jobs > 1 and len(groups) > 1:
             try:
-                return self._run_wave_pool(wave, done=done, total=total)
+                return self._run_wave_pool(groups, wave, done=done, total=total)
             except (OSError, ImportError, NotImplementedError, PermissionError) as exc:
                 self._report(
                     f"process pool unavailable ({type(exc).__name__}: {exc}); "
                     "falling back to in-process execution"
                 )
-        return self._run_wave_serial(wave, done=done, total=total)
+        return self._run_wave_serial(groups, wave, done=done, total=total)
 
-    def _run_wave_serial(self, wave, *, done, total):
+    def _run_wave_serial(self, groups, wave, *, done, total):
         outcomes = {}
-        for key, spec in wave.items():
-            result_key, metrics_dict, error, seconds = _execute_cell(
-                _spec_payload(key, spec)
-            )
-            metrics = RunMetrics.from_dict(metrics_dict) if metrics_dict else None
-            outcomes[key] = (metrics, error, seconds)
-            done += 1 if metrics is not None else 0
-            self._progress_line(spec, metrics is not None, seconds, done, total)
+        for group in groups:
+            for key, metrics_dict, error, seconds, worker in _execute_cell_group(group):
+                metrics = RunMetrics.from_dict(metrics_dict) if metrics_dict else None
+                outcomes[key] = (metrics, error, seconds, worker)
+                done += 1 if metrics is not None else 0
+                self._progress_line(wave[key], metrics is not None, seconds, done, total)
         return outcomes
 
-    def _run_wave_pool(self, wave, *, done, total):
+    def _run_wave_pool(self, groups, wave, *, done, total):
         outcomes = {}
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
             # fork inherits sys.path and loaded modules — workers start
             # fast and find `repro` regardless of how it was imported.
             context = multiprocessing.get_context("fork")
+        staged = tuple(h for _, h in groups if h is not None)
         executor = ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(wave)), mp_context=context
+            max_workers=min(self.jobs, len(groups)),
+            mp_context=context,
+            # Eagerly attach every staged graph; failures inside the
+            # initializer are swallowed (workers fall back per group).
+            initializer=worker_init if staged else None,
+            initargs=(staged,) if staged else (),
         )
         timed_out = False
         try:
             futures = {
-                key: executor.submit(_execute_cell, _spec_payload(key, spec))
-                for key, spec in wave.items()
+                executor.submit(_execute_cell_group, group): group
+                for group in groups
             }
-            for key, future in futures.items():
-                spec = wave[key]
+            for future, group in futures.items():
+                payloads, _handle = group
+                keys = [payload[0] for payload in payloads]
+                # The whole group shares one future, so its budget is
+                # one per-cell timeout per member.
+                budget = self.timeout * len(keys) if self.timeout else None
                 try:
-                    _, metrics_dict, error, seconds = future.result(timeout=self.timeout)
-                    metrics = (
-                        RunMetrics.from_dict(metrics_dict) if metrics_dict else None
-                    )
+                    group_results = future.result(timeout=budget)
                 except FutureTimeoutError:
                     future.cancel()
                     timed_out = True
-                    metrics, seconds = None, float(self.timeout or 0.0)
                     error = {
                         "type": "TimeoutError",
-                        "message": f"cell exceeded {self.timeout:.0f}s",
+                        "message": f"cell group exceeded {budget:.0f}s",
                         "traceback": "",
                     }
+                    group_results = [
+                        (key, None, error, float(self.timeout or 0.0), None)
+                        for key in keys
+                    ]
                 except Exception as exc:  # e.g. BrokenProcessPool
-                    metrics, seconds = None, 0.0
                     error = {
                         "type": type(exc).__name__,
                         "message": str(exc),
                         "traceback": "",
                     }
-                outcomes[key] = (metrics, error, seconds)
-                done += 1 if metrics is not None else 0
-                self._progress_line(spec, metrics is not None, seconds, done, total)
+                    group_results = [(key, None, error, 0.0, None) for key in keys]
+                for key, metrics_dict, error, seconds, worker in group_results:
+                    metrics = (
+                        RunMetrics.from_dict(metrics_dict) if metrics_dict else None
+                    )
+                    outcomes[key] = (metrics, error, seconds, worker)
+                    done += 1 if metrics is not None else 0
+                    self._progress_line(
+                        wave[key], metrics is not None, seconds, done, total
+                    )
         finally:
             # A hung worker must not block the sweep: abandon it and let
             # process teardown reap it.

@@ -1,10 +1,12 @@
 """Unit tests for the SNAP-style edge-list I/O."""
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.errors import GraphError
-from repro.graph import load_edge_list, save_edge_list
+from repro.graph import load_edge_list, load_edge_list_reference, save_edge_list
 
 
 def test_roundtrip(tmp_path, small_er):
@@ -53,3 +55,64 @@ def test_non_integer(tmp_path):
     path.write_text("a b\n")
     with pytest.raises(GraphError):
         load_edge_list(path)
+
+
+# ----------------------------------------------------------------------
+# fast vectorized parser vs. line-by-line reference (property tests)
+# ----------------------------------------------------------------------
+
+def _random_edge_file(rng: random.Random) -> str:
+    """A messy but well-formed edge list: comments, blanks, odd spacing."""
+    lines = []
+    for _ in range(rng.randrange(60)):
+        kind = rng.random()
+        if kind < 0.15:
+            lines.append(f"# comment {rng.randrange(100)}")
+        elif kind < 0.25:
+            lines.append(rng.choice(["", "   ", "\t"]))
+        else:
+            sep = rng.choice([" ", "\t", "   ", " \t "])
+            pad = rng.choice(["", " ", "\t"])
+            u, v = rng.randrange(40), rng.randrange(40)
+            extra = " 99" if rng.random() < 0.1 else ""  # legally ignored
+            lines.append(f"{pad}{u}{sep}{v}{extra}{pad}")
+    text = "\n".join(lines)
+    if lines and rng.random() < 0.5:
+        text += "\n"
+    return text
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fast_parser_matches_reference(tmp_path, monkeypatch, seed):
+    monkeypatch.setenv("REPRO_CACHE", "0")  # compare parsers, not the store
+    path = tmp_path / "g.txt"
+    path.write_text(_random_edge_file(random.Random(seed)))
+    reference = load_edge_list_reference(path)
+    fast = load_edge_list(path)
+    assert np.array_equal(fast.indptr, reference.indptr)
+    assert np.array_equal(fast.indices, reference.indices)
+    assert fast.name == reference.name
+
+
+@pytest.mark.parametrize("bad_line", ["7", "x y", "1 2.5", "3 z", "0x1 2"])
+def test_malformed_error_matches_reference(tmp_path, monkeypatch, bad_line):
+    """Malformed input reports the same GraphError text and line number."""
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    path = tmp_path / "g.txt"
+    path.write_text(f"# header\n0 1\n1 2\n{bad_line}\n2 3\n")
+    with pytest.raises(GraphError) as reference_error:
+        load_edge_list_reference(path)
+    with pytest.raises(GraphError) as fast_error:
+        load_edge_list(path)
+    assert str(fast_error.value) == str(reference_error.value)
+    assert ":4:" in str(fast_error.value)  # the offending line number
+
+
+def test_underscored_integers_parse_like_python(tmp_path, monkeypatch):
+    # int("1_0") == 10: numpy rejects the underscore so the fast path
+    # must defer to the reference parser rather than erroring.
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    path = tmp_path / "g.txt"
+    path.write_text("1_0 2\n")
+    graph = load_edge_list(path)
+    assert graph.num_vertices == 11 and graph.num_edges == 1

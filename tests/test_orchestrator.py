@@ -196,7 +196,18 @@ class TestFailureHandling:
         assert cell_key(bad) in failures
         assert failures[cell_key(bad)]["type"] == "SimulationError"
         assert manifest.failed == 1 and manifest.computed == 1
-        assert "FAILED" in manifest.render()
+        # The failure report carries the execution context: worker pid
+        # and how the dataset was materialized.
+        [failed] = manifest.failures()
+        assert isinstance(failed.worker["pid"], int)
+        assert failed.worker["dataset_source"] in (
+            "arena", "memo", "binary-cache", "rebuilt"
+        )
+        assert failed.worker["graph_seconds"] >= 0
+        rendered = manifest.render()
+        assert "FAILED" in rendered
+        assert f"pid {failed.worker['pid']}" in rendered
+        assert "staged 1 graph(s)" in rendered  # wi@SCALE, both cells
 
     def test_retries_are_bounded(self):
         bad = _spec(policy="no-such-policy")
