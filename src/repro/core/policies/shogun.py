@@ -113,10 +113,11 @@ class ShogunPolicy(SchedulingPolicy):
         # install them warm in the local L1.
         for task in chain:
             if task.set_address is not None and task.expansion is not None:
-                lines = self.pe.memory.line_addrs(
+                span = self.pe.memory.line_span(
                     task.set_address, len(task.expansion.candidates) * 4
                 )
-                self.pe.memory.warm_l1(self.pe.pe_id, lines)
+                if span is not None:
+                    self.pe.memory.warm_l1_span(self.pe.pe_id, span[0], span[1])
 
     # ------------------------------------------------------------------
     def _on_tree_done(self, tree_id: int) -> None:

@@ -20,6 +20,16 @@ from ..errors import ConfigError
 class DRAMModel:
     """Channel-interleaved DRAM with per-line service occupancy."""
 
+    __slots__ = (
+        "channels",
+        "latency_cycles",
+        "service_cycles",
+        "line_bytes",
+        "_channel_free",
+        "requests",
+        "busy_cycles",
+    )
+
     def __init__(
         self,
         channels: int,
@@ -50,9 +60,11 @@ class DRAMModel:
         limit) and the data returns ``latency_cycles`` after service
         starts.
         """
-        ch = self.channel_of(line_addr)
-        start = max(self._channel_free[ch], ready_time)
-        self._channel_free[ch] = start + self.service_cycles
+        ch = line_addr % self.channels
+        channel_free = self._channel_free
+        queued = channel_free[ch]
+        start = queued if queued >= ready_time else ready_time
+        channel_free[ch] = start + self.service_cycles
         self.requests += 1
         self.busy_cycles += self.service_cycles
         return start + self.latency_cycles

@@ -1,16 +1,23 @@
 """Discrete-event simulation core.
 
-A minimal, fast event queue: events are ``(time, sequence, callback)``
-tuples ordered by time with FIFO tie-breaking, so simultaneous events run
-in schedule order and the simulation is fully deterministic.  All
-simulator components share one :class:`Engine` and advance a single
-cycle-denominated clock.
+A minimal, fast event queue built for tie-heavy schedules: pending
+events are bucketed by timestamp — a heap orders the *distinct* times,
+and each time's callbacks sit in a FIFO list.  FIFO order within a
+bucket is exactly the scheduling order, so simultaneous events run as
+scheduled and the simulation is fully deterministic, while the heap
+does one push/pop per distinct timestamp instead of one per event
+(same-cycle storms — dispatch kicks, zero-delay chains — are the
+common case in the simulator).
+
+Events a callback schedules for the *current* time land in a fresh
+bucket and drain after the current bucket finishes, which is precisely
+where sequence-numbered heap ordering would have placed them.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..errors import SimulationError
 
@@ -22,8 +29,8 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Callback]] = []
-        self._seq = 0
+        self._times: List[float] = []  # heap of distinct pending timestamps
+        self._buckets: Dict[float, List[Callback]] = {}
         self._running = False
 
     def at(self, time: float, callback: Callback) -> None:
@@ -32,19 +39,28 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule event at {time} before now={self.now}"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
-        self._seq += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [callback]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
 
     def after(self, delay: float, callback: Callback) -> None:
         """Schedule ``callback`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        heapq.heappush(self._queue, (self.now + delay, self._seq, callback))
-        self._seq += 1
+        time = self.now + delay
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [callback]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
 
     def pending(self) -> int:
         """Number of queued events."""
-        return len(self._queue)
+        return sum(len(bucket) for bucket in self._buckets.values())
 
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Drain the queue; returns the number of events executed.
@@ -53,38 +69,70 @@ class Engine:
         ``max_events`` have run (whichever first).  Callbacks may schedule
         further events.
 
-        The drain loop *coalesces* same-cycle events: the clock is
-        advanced once per distinct timestamp and every event carrying that
-        timestamp — including ones a callback schedules for the current
-        cycle — runs in an inner loop, in stable ``(time, seq)`` order.
-        Ties therefore execute exactly as they were scheduled, the clock
-        jumps straight across idle gaps between timestamps, and the
-        per-event ``until`` comparison drops out of the common path.
+        The clock advances once per distinct timestamp and that time's
+        whole bucket drains in FIFO (= scheduling) order; the ``until``
+        comparison happens once per timestamp, not once per event.  The
+        ``max_events`` path counts per event and re-queues the bucket
+        remainder on an early stop, ahead of any same-time events the
+        executed callbacks scheduled.  If a callback raises, the rest of
+        its bucket is dropped with it (later timestamps stay queued);
+        a simulation never resumes a run that raised.
         """
         executed = 0
         self._running = True
-        queue = self._queue
+        times = self._times
+        buckets = self._buckets
         heappop = heapq.heappop
         try:
             if max_events is None:
-                while queue:
-                    time = queue[0][0]
+                if until is None:
+                    while times:
+                        time = heappop(times)
+                        self.now = time
+                        bucket = buckets.pop(time)
+                        executed += len(bucket)
+                        for callback in bucket:
+                            callback()
+                else:
+                    while times:
+                        time = times[0]
+                        if time > until:
+                            break
+                        heappop(times)
+                        self.now = time
+                        bucket = buckets.pop(time)
+                        executed += len(bucket)
+                        for callback in bucket:
+                            callback()
+            else:
+                heappush = heapq.heappush
+                while times:
+                    time = times[0]
                     if until is not None and time > until:
                         break
+                    heappop(times)
                     self.now = time
-                    while queue and queue[0][0] == time:
-                        callback = heappop(queue)[2]
+                    bucket = buckets.pop(time)
+                    i = 0
+                    n = len(bucket)
+                    while i < n:
+                        callback = bucket[i]
+                        i += 1
                         callback()
                         executed += 1
-            else:
-                while queue:
-                    time, _, callback = queue[0]
-                    if until is not None and time > until:
-                        break
-                    heappop(queue)
-                    self.now = time
-                    callback()
-                    executed += 1
+                        if executed >= max_events:
+                            break
+                    if i < n:
+                        # Early stop mid-bucket: the unexecuted remainder
+                        # precedes any same-time events just scheduled.
+                        rest = bucket[i:]
+                        fresh = buckets.get(time)
+                        if fresh is None:
+                            buckets[time] = rest
+                            heappush(times, time)
+                        else:
+                            rest.extend(fresh)
+                            buckets[time] = rest
                     if executed >= max_events:
                         break
         finally:

@@ -31,15 +31,24 @@ hit/miss/eviction sequences.
 
 Hot-path notes
 --------------
-``fetch_intermediate`` / ``fetch_graph`` run once per set-operation input
-of every simulated task, with tiny batches (the average neighbor set
-spans one or two cache lines).  The loops therefore shadow the cache's
-tick/stat counters and bank-queue list in locals and inline the hit path
-(one dict probe + one stamp store), falling back to the full-fat
-``insert`` machinery only on the rare miss.  All arithmetic keeps the
-exact per-line expressions of the original model — ``latency = back -
-issue``, ``done = max(done, issue + latency)``, sequential bank/channel
-booking — so every accounted metric is bit-identical.
+The memory hierarchy is *span-native*: neighbor, intermediate and output
+sets are contiguous byte ranges, so their line sets are ``(first_line,
+last_line)`` spans known from two divisions — never materialized lists.
+:meth:`MemorySystem.fetch_intermediate_span` and
+:meth:`MemorySystem.fetch_graph_spans` run once per set-operation input
+of every simulated task, with tiny spans (the average neighbor set
+covers one or two cache lines).  Both take an all-hit fast path — a
+side-effect-free residency probe, then batch LRU stamping and a
+float-only latency walk — and fall back to the exact per-line walk of
+the sequence entry points (:meth:`MemorySystem.fetch_intermediate` /
+:meth:`MemorySystem.fetch_graph`, retained for strided multi-round
+chunks and the validation shims) whenever any line misses.  All
+arithmetic keeps the exact per-line expressions of the original model —
+``latency = back - issue``, ``done = max(done, issue + latency)``,
+sequential bank/channel booking, per-access EMA folds — so every
+accounted metric is bit-identical; ``tests/test_sim_memory_spans.py``
+drives span and sequence entries over recorded random traces and asserts
+identical timing, cache state and counters.
 """
 
 from __future__ import annotations
@@ -52,6 +61,39 @@ from ..errors import ConfigError, SimulationError
 from .config import SimConfig
 from .dram import DRAMModel
 from .noc import NoC
+
+
+def span_round_chunk(first_line: int, last_line: int, r: int, rounds: int) -> range:
+    """Round ``r``'s lines of one span under strided round assignment.
+
+    The multi-round SPM path assigns the line at position ``j`` of a
+    task's line list to round ``j % rounds`` (historically via
+    ``lines[r::rounds]`` slicing).  For a contiguous span that slice is
+    itself an arithmetic progression, so no list is ever built.
+    """
+    return range(first_line + r, last_line + 1, rounds)
+
+
+def spans_round_chunk(
+    spans: Sequence[Tuple[int, int]], r: int, rounds: int
+) -> List[int]:
+    """Round ``r``'s lines of concatenated spans (global strided slice).
+
+    Equals ``concat[r::rounds]`` where ``concat`` is the concatenation of
+    ``range(first, last + 1)`` over ``spans`` — the position index runs
+    across span boundaries, so each span contributes the lines whose
+    *global* position is congruent to ``r`` modulo ``rounds``.
+    """
+    out: List[int] = []
+    extend = out.extend
+    offset = 0
+    for first_line, last_line in spans:
+        length = last_line - first_line + 1
+        start = (r - offset) % rounds
+        if start < length:
+            extend(range(first_line + start, last_line + 1, rounds))
+        offset += length
+    return out
 
 
 class Cache:
@@ -175,6 +217,96 @@ class Cache:
         insert = self.insert
         out: List[int] = []
         for addr in line_addrs:
+            evicted = insert(addr)
+            if evicted is not None:
+                out.append(evicted)
+        return out
+
+    # ------------------------------------------------------------------
+    # span kernels
+    # ------------------------------------------------------------------
+    def _span_probe(self, first_line: int, last_line: int):
+        """Residency of the span ``[first_line, last_line]`` (no state change).
+
+        Returns ``(sets, hit_ways, mask)`` numpy arrays: the set index per
+        line, the per-way tag-match matrix and the per-line hit mask.
+        Span lines are consecutive integers, hence always distinct.
+        """
+        addrs = np.arange(first_line, last_line + 1, dtype=np.int64)
+        sets = addrs % self.num_sets
+        hit_ways = self._tags.reshape(self.num_sets, self.assoc)[sets] == addrs[:, None]
+        return sets, hit_ways, hit_ways.any(axis=1)
+
+    def access_span(self, first_line: int, last_line: int) -> np.ndarray:
+        """:meth:`access_lines` over the span ``[first_line, last_line]``.
+
+        Returns the boolean hit mask.  Hit ways are stamped in address
+        order with consecutive ticks, exactly as a sequential
+        :meth:`lookup` sweep would leave them; stats update identically.
+        """
+        n = last_line - first_line + 1
+        if n <= 0:
+            return np.zeros(0, dtype=bool)
+        sets, hit_ways, mask = self._span_probe(first_line, last_line)
+        slots = (sets * self.assoc + hit_ways.argmax(axis=1))[mask]
+        nh = int(len(slots))
+        if nh:
+            self._stamps[slots] = np.arange(self._tick, self._tick + nh, dtype=np.int64)
+            self._tick += nh
+        self.hits += nh
+        self.misses += n - nh
+        return mask
+
+    def insert_span(self, first_line: int, last_line: int) -> List[int]:
+        """Batched :meth:`insert` of a span; returns evicted line addresses.
+
+        Two vectorized fast paths cover the states the simulator actually
+        produces: *all lines already resident* (a pure LRU refresh — the
+        usual writeback to a reused set address) and *all lines new with a
+        free way in every target set* (a first-touch fill).  Anything
+        mixed, or a span wide enough to revisit a set (``n > num_sets``),
+        falls back to the sequential :meth:`insert` walk so eviction
+        interleaving stays exact.
+        """
+        n = last_line - first_line + 1
+        if n <= 0:
+            return []
+        if 8 <= n <= self.num_sets:
+            # Consecutive addresses with n <= num_sets map to distinct
+            # sets, so per-set outcomes are order-independent.  Narrow
+            # spans (the common writeback: a candidate set covering a
+            # line or two) skip straight to the scalar walk — the numpy
+            # probe costs more than a couple of dict inserts.
+            sets, hit_ways, mask = self._span_probe(first_line, last_line)
+            if mask.all():
+                slots = sets * self.assoc + hit_ways.argmax(axis=1)
+                self._stamps[slots] = np.arange(
+                    self._tick, self._tick + n, dtype=np.int64
+                )
+                self._tick += n
+                return []
+            if not mask.any():
+                fill = self._fill
+                sets_list = sets.tolist()
+                fills = [fill[s] for s in sets_list]
+                if max(fills) < self.assoc:
+                    slots = sets * self.assoc + np.asarray(fills, dtype=np.int64)
+                    addrs = np.arange(first_line, last_line + 1, dtype=np.int64)
+                    self._tags[slots] = addrs
+                    self._stamps[slots] = np.arange(
+                        self._tick, self._tick + n, dtype=np.int64
+                    )
+                    self._tick += n
+                    where = self._where
+                    for addr, slot, set_idx in zip(
+                        range(first_line, last_line + 1), slots.tolist(), sets_list
+                    ):
+                        where[addr] = slot
+                        fill[set_idx] += 1
+                    return []
+        insert = self.insert
+        out: List[int] = []
+        for addr in range(first_line, last_line + 1):
             evicted = insert(addr)
             if evicted is not None:
                 out.append(evicted)
@@ -355,19 +487,43 @@ class MemorySystem:
         )
         self.l1_windows = [PELatencyWindow(initial=float(config.l1_hit_cycles)) for _ in range(pes)]
         self._l2_bank_free = [0.0] * max(1, config.l2_banks)
+        # Hot-path constants (attribute chains hoisted out of the
+        # per-fetch preludes).
         self._l1_hit_cycles_f = float(config.l1_hit_cycles)
+        self._fetch_ports = config.fetch_ports
+        self._l2_hit_cycles = config.l2_hit_cycles
+        self._l2_service_cycles = config.l2_service_cycles
+        self._hop_cycles = self.noc.hop_cycles
+        # Stream-mode precondition for the span bank walk: consecutive
+        # visits to one bank are >= l2_banks // fetch_ports cycles apart
+        # (banks cycle with consecutive line addresses; lines issue
+        # fetch_ports per cycle), so with the service time strictly below
+        # that spacing a bank that once starts at arrival never queues
+        # again within the span.  Strict `<` leaves rounding headroom.
+        self._l2_stream_ok = float(config.l2_service_cycles) < (
+            len(self._l2_bank_free) // max(1, config.fetch_ports)
+        )
         self.graph_line_fetches = 0
         self.intermediate_line_fetches = 0
 
     # ------------------------------------------------------------------
+    def line_span(self, base: int, num_bytes: int) -> Optional[Tuple[int, int]]:
+        """``(first_line, last_line)`` covering ``[base, base + num_bytes)``.
+
+        ``None`` for empty ranges — the span equivalent of
+        :meth:`line_addrs` returning ``[]``.
+        """
+        if num_bytes <= 0:
+            return None
+        line = self.config.cache_line_bytes
+        return (base // line, (base + num_bytes - 1) // line)
+
     def line_addrs(self, base: int, num_bytes: int) -> List[int]:
         """Line addresses covering ``[base, base + num_bytes)``."""
-        if num_bytes <= 0:
+        span = self.line_span(base, num_bytes)
+        if span is None:
             return []
-        line = self.config.cache_line_bytes
-        first = base // line
-        last = (base + num_bytes - 1) // line
-        return list(range(first, last + 1))
+        return list(range(span[0], span[1] + 1))
 
     # ------------------------------------------------------------------
     def _l2_access(self, line_addr: int, arrive: float) -> float:
@@ -405,16 +561,125 @@ class MemorySystem:
         is cleared for single-line task-tree vertex fetches so the
         monitor sees the dispatch unit's *set* fetch latency, not a
         stream of hot one-line reads.
+
+        Sequence entry point: used by the strided multi-round chunks and
+        as the oracle/fallback for :meth:`fetch_intermediate_span`.
         """
+        return self._fetch_intermediate_walk(pe_id, line_addrs, now, record_window)
+
+    def fetch_intermediate_span(
+        self,
+        pe_id: int,
+        first_line: int,
+        last_line: int,
+        now: float,
+        *,
+        record_window: bool = True,
+    ) -> float:
+        """Span-native :meth:`fetch_intermediate` over ``[first_line, last_line]``.
+
+        The hot path of every task start.  A side-effect-free residency
+        probe picks the all-hit fast path — batch LRU stamping plus a
+        float-only fold of the constant hit latency into the PE's window,
+        with the batch completion time computed from the last line's
+        issue slot (latencies are constant, so the last finish is the
+        max) — and any miss falls back to the exact per-line walk.  Both
+        paths reproduce the sequence entry point bit-for-bit.
+        """
+        l1 = self.l1s[pe_id]
+        if last_line == first_line:
+            # Single-line span — the dominant case: straight-line code.
+            slot = l1._where.get(first_line)
+            if slot is None:
+                return self._fetch_intermediate_walk(
+                    pe_id, (first_line,), now, record_window
+                )
+            tick = l1._tick
+            l1._stamps[slot] = tick
+            l1._tick = tick + 1
+            l1.hits += 1
+            self.intermediate_line_fetches += 1
+            l1_hit = self._l1_hit_cycles_f
+            if record_window:
+                window = self.l1_windows[pe_id]
+                window.value += window.alpha * (l1_hit - window.value)
+                window.total_latency += l1_hit
+                window.samples += 1
+            finish = (now + 0) + l1_hit
+            return finish if finish > now else now
+        n = last_line - first_line + 1
+        tick = l1._tick
+        if n >= 64:
+            # Very wide span: vectorized residency probe over the tags.
+            sets, hit_ways, mask = l1._span_probe(first_line, last_line)
+            if not mask.all():
+                # Miss somewhere in the span (rare): the probe changed
+                # nothing, so the sequential walk replays from scratch.
+                return self._fetch_intermediate_walk(
+                    pe_id, range(first_line, last_line + 1), now, record_window
+                )
+            l1._stamps[sets * l1.assoc + hit_ways.argmax(axis=1)] = np.arange(
+                tick, tick + n, dtype=np.int64
+            )
+            l1._tick = tick + n
+        elif n >= 8:
+            where_get = l1._where.get
+            slots = [where_get(addr) for addr in range(first_line, last_line + 1)]
+            if None in slots:
+                return self._fetch_intermediate_walk(
+                    pe_id, range(first_line, last_line + 1), now, record_window
+                )
+            l1._stamps[slots] = np.arange(tick, tick + n, dtype=np.int64)
+            l1._tick = tick + n
+        else:
+            where_get = l1._where.get
+            slots = []
+            append = slots.append
+            for addr in range(first_line, last_line + 1):
+                slot = where_get(addr)
+                if slot is None:
+                    return self._fetch_intermediate_walk(
+                        pe_id, range(first_line, last_line + 1), now, record_window
+                    )
+                append(slot)
+            stamps = l1._stamps
+            for slot in slots:
+                stamps[slot] = tick
+                tick += 1
+            l1._tick = tick
+        l1.hits += n
+        self.intermediate_line_fetches += n
+        l1_hit = self._l1_hit_cycles_f
+        if record_window:
+            window = self.l1_windows[pe_id]
+            alpha = window.alpha
+            value = window.value
+            total = window.total_latency
+            for _ in range(n):
+                value += alpha * (l1_hit - value)
+                total += l1_hit
+            window.value = value
+            window.total_latency = total
+            window.samples += n
+        finish = (now + (n - 1) // self._fetch_ports) + l1_hit
+        return finish if finish > now else now
+
+    def _fetch_intermediate_walk(
+        self,
+        pe_id: int,
+        line_addrs: Sequence[int],
+        now: float,
+        record_window: bool,
+    ) -> float:
         l1 = self.l1s[pe_id]
         where_get = l1._where.get
         stamps = l1._stamps
         tick = l1._tick
         hits = 0
         config = self.config
-        ports = config.fetch_ports
-        l1_hit = float(config.l1_hit_cycles)
-        hop = self.noc.hop_cycles
+        ports = self._fetch_ports
+        l1_hit = self._l1_hit_cycles_f
+        hop = self._hop_cycles
         window = self.l1_windows[pe_id] if record_window else None
         record = window.record if window is not None else None
         done = now
@@ -485,6 +750,28 @@ class MemorySystem:
         Graph batches may repeat a line (adjacent neighbor sets sharing a
         boundary cache line), so classification stays sequential — a
         repeat must see the LRU/bank state its predecessor left behind.
+
+        Sequence entry point: used by the strided multi-round chunks and
+        as the oracle/fallback for :meth:`fetch_graph_spans`.
+        """
+        return self._fetch_graph_walk(pe_id, line_addrs, now)
+
+    def fetch_graph_spans(
+        self, pe_id: int, spans: Sequence[Tuple[int, int]], now: float
+    ) -> float:
+        """Span-native :meth:`fetch_graph` over ``(first_line, last_line)`` spans.
+
+        One span per neighbor-set input, walked in order with a single
+        issue index running across span boundaries — exactly the line
+        order the concatenated sequence entry point would see.  Lines
+        *within* a span are distinct, so when a whole span is resident
+        its classification is order-independent and the span takes the
+        fast path: batch LRU stamping plus a float-only walk of the bank
+        queues (banks cycle with consecutive line addresses).  Spans may
+        still repeat lines *between* each other (adjacent neighbor sets
+        sharing a boundary line); each span probes the state its
+        predecessors left behind, and any span with a miss replays
+        per-line through the exact sequential walk.
         """
         l2 = self.l2
         where_get = l2._where.get
@@ -493,11 +780,180 @@ class MemorySystem:
         hits = 0
         bank_free = self._l2_bank_free
         nbanks = len(bank_free)
-        config = self.config
-        ports = config.fetch_ports
-        l2_hit = config.l2_hit_cycles
-        l2_service = config.l2_service_cycles
-        hop = self.noc.hop_cycles
+        ports = self._fetch_ports
+        l2_hit = self._l2_hit_cycles
+        l2_service = self._l2_service_cycles
+        hop = self._hop_cycles
+        stream_ok = self._l2_stream_ok
+        done = now
+        i = 0
+        for first_line, last_line in spans:
+            if last_line == first_line:
+                # Single-line span — the dominant case (the average
+                # neighbor set covers one or two cache lines): pure
+                # straight-line code, no loops or allocations.
+                slot = where_get(first_line)
+                if slot is not None:
+                    stamps[slot] = tick
+                    tick += 1
+                    hits += 1
+                    issue = now + i // ports
+                    arrive = issue + hop
+                    bank = first_line % nbanks
+                    queued = bank_free[bank]
+                    start = queued if queued >= arrive else arrive
+                    bank_free[bank] = start + l2_service
+                    back = start + l2_hit + hop
+                    if back > done:
+                        done = back
+                    i += 1
+                    continue
+                n = 1
+                resident = False
+            else:
+                n = last_line - first_line + 1
+                resident = True
+                if n < 8:
+                    slots = []
+                    append = slots.append
+                    for addr in range(first_line, last_line + 1):
+                        slot = where_get(addr)
+                        if slot is None:
+                            resident = False
+                            break
+                        append(slot)
+                    if resident:
+                        for slot in slots:
+                            stamps[slot] = tick
+                            tick += 1
+                elif n < 64:
+                    slots = [
+                        where_get(addr)
+                        for addr in range(first_line, last_line + 1)
+                    ]
+                    if None in slots:
+                        resident = False
+                    else:
+                        stamps[slots] = np.arange(tick, tick + n, dtype=np.int64)
+                        tick += n
+                else:
+                    # Very wide span: vectorized residency probe + batch
+                    # stamping over the tag arrays (stamps land in address
+                    # order with consecutive ticks, same as the scalar
+                    # sweep).
+                    sets, hit_ways, mask = l2._span_probe(first_line, last_line)
+                    if mask.all():
+                        stamps[sets * l2.assoc + hit_ways.argmax(axis=1)] = np.arange(
+                            tick, tick + n, dtype=np.int64
+                        )
+                        tick += n
+                    else:
+                        resident = False
+            if resident:
+                # All-hit span: book the banks with float-only arithmetic
+                # (same expressions as the per-line walk; only the cache
+                # probes are gone).
+                hits += n
+                bank = first_line % nbanks
+                head = nbanks if stream_ok and n > nbanks else n
+                streaming = True
+                for _ in range(head):
+                    issue = now + i // ports
+                    arrive = issue + hop
+                    queued = bank_free[bank]
+                    if queued >= arrive:
+                        start = queued
+                        if queued > arrive:
+                            streaming = False
+                    else:
+                        start = arrive
+                    bank_free[bank] = start + l2_service
+                    back = start + l2_hit + hop
+                    if back > done:
+                        done = back
+                    i += 1
+                    bank += 1
+                    if bank == nbanks:
+                        bank = 0
+                rest = n - head
+                if rest > 0:
+                    if streaming:
+                        # Stream mode: the head cleared every bank's
+                        # backlog, so each remaining line starts exactly
+                        # at its arrival.  `back` values are monotone in
+                        # the issue index, so the last line's back is the
+                        # span maximum, and each bank's final booking is
+                        # its last visit's — all with the identical float
+                        # expressions the per-line loop evaluates.
+                        last_k = i + rest - 1
+                        back = ((now + last_k // ports) + hop) + l2_hit + hop
+                        if back > done:
+                            done = back
+                        for _ in range(rest if rest < nbanks else nbanks):
+                            arrive = (now + last_k // ports) + hop
+                            b = (first_line + (last_k - i) + head) % nbanks
+                            bank_free[b] = arrive + l2_service
+                            last_k -= 1
+                        i += rest
+                    else:
+                        for _ in range(rest):
+                            issue = now + i // ports
+                            arrive = issue + hop
+                            queued = bank_free[bank]
+                            start = queued if queued >= arrive else arrive
+                            bank_free[bank] = start + l2_service
+                            back = start + l2_hit + hop
+                            if back > done:
+                                done = back
+                            i += 1
+                            bank += 1
+                            if bank == nbanks:
+                                bank = 0
+                continue
+            # Mixed span (rare): the exact per-line walk, classification
+            # interleaved with fills so later lines see earlier evictions.
+            dram_request = self.dram.request
+            l2_insert = l2.insert
+            for addr in range(first_line, last_line + 1):
+                issue = now + i // ports
+                arrive = issue + hop
+                bank = addr % nbanks
+                queued = bank_free[bank]
+                start = queued if queued >= arrive else arrive
+                bank_free[bank] = start + l2_service
+                slot = where_get(addr)
+                if slot is not None:
+                    stamps[slot] = tick
+                    tick += 1
+                    hits += 1
+                    back = start + l2_hit + hop
+                else:
+                    l2.misses += 1
+                    l2._tick = tick
+                    back = dram_request(addr, start + l2_hit)
+                    l2_insert(addr)
+                    tick = l2._tick
+                    back = back + hop
+                if back > done:
+                    done = back
+                i += 1
+        l2._tick = tick
+        l2.hits += hits
+        self.graph_line_fetches += i
+        return done
+
+    def _fetch_graph_walk(self, pe_id: int, line_addrs: Sequence[int], now: float) -> float:
+        l2 = self.l2
+        where_get = l2._where.get
+        stamps = l2._stamps
+        tick = l2._tick
+        hits = 0
+        bank_free = self._l2_bank_free
+        nbanks = len(bank_free)
+        ports = self._fetch_ports
+        l2_hit = self._l2_hit_cycles
+        l2_service = self._l2_service_cycles
+        hop = self._hop_cycles
         done = now
         n = 0
         for i, addr in enumerate(line_addrs):
@@ -543,9 +999,30 @@ class MemorySystem:
             if evicted is not None:
                 l2_insert(evicted)
 
+    def install_intermediate_span(
+        self, pe_id: int, first_line: int, last_line: int
+    ) -> None:
+        """Span-native :meth:`install_intermediate` (the writeback path).
+
+        Rides :meth:`Cache.insert_span`'s vectorized fast paths; evicted
+        lines spill to the L2 afterwards in eviction order.  Deferring
+        the spills is exact: L1 insertion decisions never read L2 state,
+        and these spills are the only L2 operations in the call, so their
+        relative order — the only thing L2's LRU sees — is unchanged.
+        """
+        evicted = self.l1s[pe_id].insert_span(first_line, last_line)
+        if evicted:
+            l2_insert = self.l2.insert
+            for addr in evicted:
+                l2_insert(addr)
+
     def warm_l1(self, pe_id: int, line_addrs: Sequence[int]) -> None:
         """Pre-install lines into a PE's L1 (partition-message payload)."""
         self.install_intermediate(pe_id, line_addrs)
+
+    def warm_l1_span(self, pe_id: int, first_line: int, last_line: int) -> None:
+        """Span-native :meth:`warm_l1` (partition-message payload)."""
+        self.install_intermediate_span(pe_id, first_line, last_line)
 
     # ------------------------------------------------------------------
     def l1_hit_rate(self, pe_id: int) -> float:

@@ -18,20 +18,23 @@ each task costs only two events.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..core.task import SimTask, TaskState
 from ..core.tokens import SetBufferMap
 from ..errors import SimulationError
-from ..mining.setops import segment_count
 from .fu import IUPool
-from .memory import Scratchpad
+from .memory import Scratchpad, span_round_chunk, spans_round_chunk
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.policies.base import SchedulingPolicy
     from .accelerator import Accelerator
 
 PolicyFactory = Callable[["PE"], "SchedulingPolicy"]
+
+# Enum members resolved once (descriptor lookups add up on the per-task path).
+_EXECUTING = TaskState.EXECUTING
+_COMPLETE = TaskState.COMPLETE
 
 
 class PE:
@@ -76,8 +79,9 @@ class PE:
         self._unit_interval = 1.0 / self.config.unit_tasks_per_cycle
         self._post_spawn_cycles = self.config.spawn_cycles + self.config.tree_access_cycles
         self._line_bytes = self.config.cache_line_bytes
-        self._segment_elements = self.config.segment_elements
+        self._segment_elements = int(self.config.segment_elements)
         self._max_depth = self.schedule.max_depth
+        self._iu_submit = self.iu_pool.submit
         # Shared empty ancestor-set list for root tasks (read-only use).
         self._no_ancestor_sets: List[Optional[object]] = [None] * (
             self.schedule.depth + 1
@@ -85,6 +89,9 @@ class PE:
 
         self.slots_used = 0
         self.tasks_executed = 0
+        # Tasks whose working set exceeded the SPM share (ran >1 round).
+        # Diagnostic only — not part of RunMetrics.
+        self.multi_round_tasks = 0
         self.depth_executed: List[int] = [0] * self.schedule.depth
         self.matches = 0
         self.finish_cycle = 0.0
@@ -154,10 +161,14 @@ class PE:
 
     def _dispatch(self) -> None:
         self._kick_pending = False
-        self._integrate()
+        # Guarded call: a completion at this cycle already integrated.
+        if self.engine.now > self._last_integrate:
+            self._integrate()
         self.accel.feed_roots(self)
-        while self.slots_used < self.config.execution_width:
-            task = self.policy.select_task()
+        width = self.config.execution_width
+        select_task = self.policy.select_task
+        while self.slots_used < width:
+            task = select_task()
             if task is None:
                 break
             self._start_task(task)
@@ -173,10 +184,12 @@ class PE:
     # task execution (all stage times booked analytically)
     # ------------------------------------------------------------------
     def _start_task(self, task: SimTask) -> None:
-        self._integrate()
-        self.slots_used += 1
-        task.state = TaskState.EXECUTING
         now = self.engine.now
+        # Guarded call: the dispatch pass at this cycle already integrated.
+        if now > self._last_integrate:
+            self._integrate()
+        self.slots_used += 1
+        task.state = _EXECUTING
         config = self.config
         unit_free = self._unit_free
         interval = self._unit_interval
@@ -210,41 +223,60 @@ class PE:
             engine_at(t, lambda: self._complete_task(task))
             return
 
-        expansion = self.context.expand(task.embedding, self._ancestor_sets(task))
+        # Ancestor sets inline (see _ancestor_sets): parent is at hand.
+        if parent is None:
+            sets = self._no_ancestor_sets
+        else:
+            sets = parent.child_sets
+            if sets is None:
+                sets = self._child_sets(parent)
+        expansion = self.context.expand(task.embedding, sets)
         task.expansion = expansion
 
-        inter_lines = self._intermediate_lines(task)
-        graph_lines = self._graph_lines(task)
+        inter_span = self._intermediate_span(task)
+        graph_spans, graph_count = self._graph_spans(task)
         out_bytes = len(expansion.candidates) * 4
         set_address = task.set_address
         if set_address is not None and out_bytes > 0:
             line_bytes = self._line_bytes
-            out_lines = list(
-                range(
-                    set_address // line_bytes,
-                    (set_address + out_bytes - 1) // line_bytes + 1,
-                )
-            )
+            out_first = set_address // line_bytes
+            out_last = (set_address + out_bytes - 1) // line_bytes
+            out_count = out_last - out_first + 1
         else:
-            out_lines = []
-        segments = segment_count(expansion.comparisons, self._segment_elements)
+            out_first = out_last = -1
+            out_count = 0
+        # segment_count inlined (segment_elements validated positive).
+        comparisons = expansion.comparisons
+        segments = (
+            -(-comparisons // self._segment_elements) if comparisons > 0 else 0
+        )
 
-        total_lines = len(inter_lines) + len(graph_lines) + len(out_lines)
+        inter_count = 0 if inter_span is None else inter_span[1] - inter_span[0] + 1
+        total_lines = inter_count + graph_count + out_count
         if total_lines <= self.spm_share:
-            # Single round (the overwhelmingly common case): the chunk
-            # slices `x[0::1]` degenerate to the full lists.
-            t_inter = memory.fetch_intermediate(self.pe_id, inter_lines, t) if inter_lines else t
-            t_graph = memory.fetch_graph(self.pe_id, graph_lines, t) if graph_lines else t
+            # Single round (the overwhelmingly common case): the whole
+            # working set streams through as unbroken spans.
+            t_inter = (
+                memory.fetch_intermediate_span(self.pe_id, inter_span[0], inter_span[1], t)
+                if inter_span is not None
+                else t
+            )
+            t_graph = memory.fetch_graph_spans(self.pe_id, graph_spans, t) if graph_spans else t
             ready = t_inter if t_inter >= t_graph else t_graph
             free = unit_free["issue"]
             start = ready if ready >= free else free
             unit_free["issue"] = start + interval
-            t = self.iu_pool.submit(segments, start + 1.0)
+            t = self._iu_submit(segments, start + 1.0)
         else:
+            self.multi_round_tasks += 1
             rounds = -(-total_lines // self.spm_share)
             for r in range(rounds):
-                ichunk = inter_lines[r::rounds]
-                gchunk = graph_lines[r::rounds]
+                ichunk = (
+                    span_round_chunk(inter_span[0], inter_span[1], r, rounds)
+                    if inter_span is not None
+                    else ()
+                )
+                gchunk = spans_round_chunk(graph_spans, r, rounds)
                 schunk = segments // rounds + (1 if r < segments % rounds else 0)
                 t_inter = memory.fetch_intermediate(self.pe_id, ichunk, t) if ichunk else t
                 t_graph = memory.fetch_graph(self.pe_id, gchunk, t) if gchunk else t
@@ -253,23 +285,15 @@ class PE:
                 t = self.iu_pool.submit(schunk, ready)
 
         # Writeback: the produced candidate set lands in the L1.
-        if out_lines:
-            memory.install_intermediate(self.pe_id, out_lines)
-            wb = len(out_lines) / config.fetch_ports
+        if out_count:
+            memory.install_intermediate_span(self.pe_id, out_first, out_last)
+            wb = out_count / config.fetch_ports
             t += wb if wb > 1.0 else 1.0
         free = unit_free["spawn"]
         start = t if t >= free else free
         unit_free["spawn"] = start + interval
         t = start + self._post_spawn_cycles
         engine_at(t, lambda: self._complete_task(task))
-
-    def _vertex_fetch_line(self, task: SimTask) -> Optional[int]:
-        """L1 line holding this task's vertex in the parent candidate set."""
-        parent = task.parent
-        if parent is None or parent.set_address is None:
-            return None
-        byte = parent.set_address + task.child_index * 4
-        return byte // self.config.cache_line_bytes
 
     def _ancestor_sets(self, task: SimTask) -> List[Optional[object]]:
         """Materialized candidate sets along this task's ancestor path.
@@ -306,11 +330,11 @@ class PE:
         parent.child_sets = sets
         return sets
 
-    def _intermediate_lines(self, task: SimTask) -> List[int]:
-        """L1 line addresses of the reused ancestor candidate set."""
+    def _intermediate_span(self, task: SimTask) -> Optional[Tuple[int, int]]:
+        """L1 line span of the reused ancestor candidate set (or None)."""
         expansion = task.expansion
         if expansion is None or expansion.reused_depth is None:
-            return []
+            return None
         producer = task.ancestor_at_depth(expansion.reused_depth - 1)
         if producer.set_address is None:
             raise SimulationError(
@@ -321,37 +345,39 @@ class PE:
         # merge chain).
         num_bytes = expansion.ops[0].left.size * 4
         if num_bytes <= 0:
-            return []
+            return None
         base = producer.set_address
         line_bytes = self._line_bytes
-        return list(
-            range(base // line_bytes, (base + num_bytes - 1) // line_bytes + 1)
-        )
+        return (base // line_bytes, (base + num_bytes - 1) // line_bytes)
 
-    def _graph_lines(self, task: SimTask) -> List[int]:
-        """L2 line addresses of all neighbor-set inputs.
+    def _graph_spans(self, task: SimTask) -> Tuple[List[Tuple[int, int]], int]:
+        """L2 line spans of all neighbor-set inputs, plus the line total.
 
         Uses the accelerator's precomputed per-vertex line spans — a
         neighbor input always covers the vertex's whole adjacency, so its
-        lines are a fixed ``range`` known at graph-load time.  Empty
-        neighbor sets contribute no lines (``line_addrs`` of zero bytes).
+        span ``(first_line, last_line)`` is fixed at graph-load time.
+        Empty neighbor sets contribute no span.
         """
         first = self.accel.graph_first_line
         last = self.accel.graph_last_line
-        lines: List[int] = []
-        extend = lines.extend
+        spans: List[Tuple[int, int]] = []
+        append = spans.append
+        count = 0
         for inp in task.expansion.neighbors:
             if inp.size:
                 ref = inp.ref
-                extend(range(first[ref], last[ref] + 1))
-        return lines
+                f = first[ref]
+                l = last[ref]
+                append((f, l))
+                count += l - f + 1
+        return spans, count
 
     def _complete_task(self, task: SimTask) -> None:
         self._integrate()
-        task.state = TaskState.COMPLETE
+        task.state = _COMPLETE
         self.tasks_executed += 1
         self.depth_executed[task.depth] += 1
-        if task.depth >= self.schedule.max_depth:
+        if task.depth >= self._max_depth:
             self.matches += 1
             task.children_vertices = []
         else:

@@ -263,7 +263,9 @@ class InvariantChecker:
         memory = self.accel.memory
         original_fetch = memory.fetch_intermediate
         original_fetch_line = memory.fetch_intermediate_line
+        original_fetch_span = memory.fetch_intermediate_span
         original_graph = memory.fetch_graph
+        original_graph_spans = memory.fetch_graph_spans
         original_transfer = memory.noc.transfer
 
         def fetch_intermediate(pe_id, line_addrs, now, *, record_window=True):
@@ -277,9 +279,22 @@ class InvariantChecker:
             self.l1_lines += 1
             return original_fetch_line(pe_id, line_addr, now)
 
+        def fetch_intermediate_span(pe_id, first_line, last_line, now, *, record_window=True):
+            n = last_line - first_line + 1
+            self.l1_lines += n
+            if record_window:
+                self.windowed_lines += n
+            return original_fetch_span(
+                pe_id, first_line, last_line, now, record_window=record_window
+            )
+
         def fetch_graph(pe_id, line_addrs, now):
             self.graph_lines += len(line_addrs)
             return original_graph(pe_id, line_addrs, now)
+
+        def fetch_graph_spans(pe_id, spans, now):
+            self.graph_lines += sum(last - first + 1 for first, last in spans)
+            return original_graph_spans(pe_id, spans, now)
 
         def transfer(lines, ready_time):
             self.noc_sends += 1
@@ -287,7 +302,9 @@ class InvariantChecker:
 
         memory.fetch_intermediate = fetch_intermediate
         memory.fetch_intermediate_line = fetch_intermediate_line
+        memory.fetch_intermediate_span = fetch_intermediate_span
         memory.fetch_graph = fetch_graph
+        memory.fetch_graph_spans = fetch_graph_spans
         memory.noc.transfer = transfer
 
     # -- reconciliation ------------------------------------------------

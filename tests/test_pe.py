@@ -37,29 +37,42 @@ class TestUnits:
         assert pe._enter_unit("spawn", 5.0) == 5.0
 
 
-class TestVertexFetchLine:
-    def test_line_from_parent_buffer(self, tiny_graph):
-        _, pe = build(tiny_graph)
-        parent = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
-        parent.set_address = 64 * 100
-        child = SimTask(
-            depth=1, vertex=1, embedding=(3, 1), parent=parent, tree=1, child_index=5
-        )
-        assert pe._vertex_fetch_line(child) == 100  # 5*4 bytes within line 0... offset 20 -> line 100
+class TestSpanHelpers:
+    def test_graph_spans_cover_neighbor_lines(self, small_er):
+        _, pe = build(small_er, code="4cl")
+        root = SimTask(depth=0, vertex=20, embedding=(20,), parent=None, tree=1)
+        root.expansion = pe.context.expand((20,))
+        spans, count = pe._graph_spans(root)
+        first = pe.accel.graph_first_line
+        last = pe.accel.graph_last_line
+        expected = [
+            (first[inp.ref], last[inp.ref])
+            for inp in root.expansion.neighbors
+            if inp.size
+        ]
+        assert spans == expected
+        assert count == sum(l - f + 1 for f, l in spans)
 
-    def test_line_advances_with_index(self, tiny_graph):
-        _, pe = build(tiny_graph)
-        parent = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
-        parent.set_address = 0
-        near = SimTask(depth=1, vertex=1, embedding=(3, 1), parent=parent, tree=1, child_index=0)
-        far = SimTask(depth=1, vertex=2, embedding=(3, 2), parent=parent, tree=1, child_index=20)
-        assert pe._vertex_fetch_line(near) == 0
-        assert pe._vertex_fetch_line(far) == 1
+    def test_intermediate_span_none_without_reuse(self, small_er):
+        _, pe = build(small_er, code="4cl")
+        root = SimTask(depth=0, vertex=20, embedding=(20,), parent=None, tree=1)
+        root.expansion = pe.context.expand((20,))
+        # Roots have no ancestor set to reuse.
+        assert root.expansion.reused_depth is None
+        assert pe._intermediate_span(root) is None
 
-    def test_no_parent_no_fetch(self, tiny_graph):
-        _, pe = build(tiny_graph)
-        root = SimTask(depth=0, vertex=3, embedding=(3,), parent=None, tree=1)
-        assert pe._vertex_fetch_line(root) is None
+    def test_out_span_matches_line_addrs(self, tiny_graph):
+        # The inlined out-span arithmetic in _start_task must agree with
+        # the memory system's line_span/line_addrs for any base/size.
+        accel, _ = build(tiny_graph)
+        memory = accel.memory
+        line_bytes = accel.config.cache_line_bytes
+        for base in (0, 60, 64, 64 * 100 + 4):
+            for num_bytes in (4, 60, 64, 65, 1000):
+                first = base // line_bytes
+                last = (base + num_bytes - 1) // line_bytes
+                assert memory.line_span(base, num_bytes) == (first, last)
+                assert memory.line_addrs(base, num_bytes) == list(range(first, last + 1))
 
 
 class TestRounds:
