@@ -458,6 +458,57 @@ class TestKernelGraphLoad:
         )
 
 
+class TestKernelService:
+    def test_service_roundtrip_vs_direct(self, scale, tmp_path_factory):
+        """Submit→result latency of a *cached* cell over the in-process
+        transport vs executing the same cell directly.  This is the
+        daemon's read-through fast path: the whole protocol stack
+        (codec round-trip, dispatch, cache lookup, event delivery) must
+        stay far cheaper than one simulation."""
+        import asyncio
+
+        from repro.experiments.runner import simulate_cell
+        from repro.orchestrator import CellSpec, ResultCache, cell_key
+        from repro.service import AsyncServiceClient, serve_inproc
+
+        config = eval_config()
+
+        def direct():
+            return simulate_cell(
+                "wi", "tc", "shogun", config=config, scale=scale, verify=True
+            )
+
+        cache = ResultCache(tmp_path_factory.mktemp("bench-service"))
+        metrics = direct()
+        spec = CellSpec("wi", "tc", "shogun", scale, config, True)
+        cache.put(spec, cell_key(spec), metrics, 0.0)
+        cell = {"dataset": "wi", "pattern": "tc", "policy": "shogun",
+                "scale": scale}
+
+        async def timed_roundtrips():
+            async with serve_inproc(jobs=1, cache=cache) as (service, listener):
+                async with AsyncServiceClient.inproc(listener) as client:
+                    warm = await client.submit_metrics(dict(cell))
+                    assert warm["source"] == "cache"
+                    assert warm["metrics"]["matches"] == metrics.matches
+                    best = float("inf")
+                    for _ in range(30):
+                        start = time.perf_counter()
+                        final = await client.submit_metrics(dict(cell))
+                        best = min(best, time.perf_counter() - start)
+                        assert final["source"] == "cache"
+                    assert service.executor.executions == 0
+            return best
+
+        vec = asyncio.run(timed_roundtrips())
+        ref = _best_of(direct, repeats=3)
+        _record_kernel(
+            "service_roundtrip", vec, ref,
+            "wi:tc:shogun cached submit over the in-proc transport "
+            "(protocol + dispatch + read-through) vs direct execution",
+        )
+
+
 class TestEndToEndCell:
     @staticmethod
     def _time_cell(name, scale, pattern, policy):

@@ -15,11 +15,21 @@ Usage (also via ``python -m repro``)::
     repro validate all --scale 0.3                  # oracle + invariants + goldens
     repro validate golden --update                  # re-bless golden snapshots
     repro validate fuzz --runs 20 --seed 7          # randomized differential tests
+    repro serve --socket .repro-serve.sock --jobs 4 # persistent daemon
+    repro submit --dataset wi --pattern tc --policy shogun --watch
+    repro jobs                                      # daemon job board
+    repro shutdown                                  # drain and stop the daemon
 
 ``repro experiment`` routes through :mod:`repro.orchestrator`: cells
 are deduplicated, satisfied from ``.repro-cache/`` when possible, and
 executed on a process pool with ``--jobs N``.  Every ``--scale``
 defaults to the ``REPRO_SCALE`` environment variable (then 1.0).
+
+``repro serve`` keeps that machinery warm between invocations: one
+daemon stages graphs and workers once, answers ``repro submit`` over a
+unix or TCP socket, coalesces identical in-flight cells and serves
+repeats from the cache (see docs/service.md).  The socket defaults to
+``REPRO_SERVE_SOCKET``, then ``.repro-serve.sock``.
 """
 
 from __future__ import annotations
@@ -199,6 +209,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run the case stored in a repro bundle instead of fuzzing",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent simulation daemon (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="unix socket path (default: REPRO_SERVE_SOCKET, then "
+             ".repro-serve.sock)",
+    )
+    serve.add_argument(
+        "--tcp", default=None, metavar="HOST:PORT",
+        help="also listen on a TCP address (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker parallelism (1 = a single warm in-process worker)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max jobs queued-or-running before submits are rejected",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-cell wall-clock limit in seconds",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without the persistent result cache",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
+    )
+    serve.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="also append server events to this file (always on stderr)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one cell to a running daemon"
+    )
+    submit.add_argument("--dataset", required=True, choices=dataset_codes())
+    submit.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
+    submit.add_argument(
+        "--policy", default="shogun", choices=sorted(POLICIES)
+    )
+    _add_scale_arg(submit)
+    submit.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the reference-count check inside the cell",
+    )
+    submit.add_argument(
+        "--config", action="append", default=[], metavar="FIELD=VALUE",
+        help="SimConfig override (repeatable), e.g. --config num_pes=8",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="stream queued/staging/running events while waiting",
+    )
+    submit.add_argument(
+        "--json", action="store_true",
+        help="print the terminal event as JSON instead of a summary",
+    )
+    _add_service_address_arg(submit)
+
+    jobs_cmd = sub.add_parser("jobs", help="show a running daemon's job board")
+    _add_service_address_arg(jobs_cmd)
+
+    shutdown = sub.add_parser("shutdown", help="stop a running daemon")
+    shutdown.add_argument(
+        "--no-drain", action="store_true",
+        help="cancel the running cell instead of letting it finish",
+    )
+    _add_service_address_arg(shutdown)
+
     cache = sub.add_parser("cache", help="inspect or clear the persistent caches")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     for action, text in (("info", "show entry count, size and code salt"),
@@ -222,6 +307,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="graph store directory (default: <cache-root>/graphs)",
         )
     return parser
+
+
+def _add_service_address_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--socket", default=None, metavar="ADDR",
+        help="daemon address: a unix socket path or tcp:HOST:PORT "
+             "(default: REPRO_SERVE_SOCKET, then .repro-serve.sock)",
+    )
+    parser.add_argument(
+        "--connect-timeout", type=float, default=10.0,
+        help="seconds to keep retrying the connection (default 10)",
+    )
+
+
+def _service_address(args) -> str:
+    import os
+
+    return args.socket or os.environ.get("REPRO_SERVE_SOCKET") or ".repro-serve.sock"
 
 
 def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
@@ -465,6 +568,156 @@ def cmd_validate(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .orchestrator import ResultCache, cache_enabled
+    from .service import serve
+
+    cache = None
+    if not args.no_cache and cache_enabled():
+        cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+
+    log_file = open(args.log, "a", encoding="utf-8") if args.log else None
+
+    def log(line: str) -> None:
+        stamped = f"[{time.strftime('%H:%M:%S')}] {line}"
+        print(stamped, file=sys.stderr)
+        if log_file is not None:
+            log_file.write(stamped + "\n")
+            log_file.flush()
+
+    # parse_address treats a bare path as a unix socket, so the same
+    # REPRO_SERVE_SOCKET value works for serve and for the clients.
+    addresses = [_service_address(args)]
+    if args.tcp:
+        addresses.append(f"tcp:{args.tcp}")
+
+    def ready(listeners) -> None:
+        for listener in listeners:
+            log(f"listening on {listener.describe()}")
+
+    try:
+        stats = asyncio.run(serve(
+            addresses,
+            jobs=args.jobs,
+            cache=cache,
+            queue_limit=args.queue_limit,
+            timeout=args.timeout,
+            log=log,
+            ready=ready,
+        ))
+    finally:
+        if log_file is not None:
+            log_file.close()
+    print(f"served {stats.get('submitted', 0)} submission(s): "
+          f"{stats.get('cache_hits', 0)} from cache, "
+          f"{stats.get('coalesced', 0)} coalesced, "
+          f"{stats.get('executed', 0)} executed, "
+          f"{stats.get('failed', 0)} failed")
+    return 0
+
+
+def _parse_config_overrides(pairs) -> dict:
+    """``FIELD=VALUE`` strings to a wire config dict (JSON-ish values)."""
+    import json
+
+    overrides = {}
+    for pair in pairs:
+        field_name, sep, raw = pair.partition("=")
+        if not sep or not field_name:
+            raise SystemExit(f"--config needs FIELD=VALUE, got {pair!r}")
+        try:
+            overrides[field_name] = json.loads(raw)
+        except ValueError:
+            overrides[field_name] = raw  # bare strings (policy names etc.)
+    return overrides
+
+
+def cmd_submit(args) -> int:
+    import json
+
+    from .service import call
+    from .sim.metrics import RunMetrics
+
+    cell = {
+        "dataset": args.dataset,
+        "pattern": args.pattern,
+        "policy": args.policy,
+        "verify": not args.no_verify,
+    }
+    if args.scale is not None:
+        cell["scale"] = args.scale
+    overrides = _parse_config_overrides(args.config)
+    if overrides:
+        cell["config"] = overrides
+
+    def on_event(event: dict) -> None:
+        if not args.json:
+            print(f"[{event.get('event')}] job={event.get('job')} "
+                  f"t={event.get('ts', 0.0):.2f}s", file=sys.stderr)
+
+    async def exchange(client):
+        return await client.submit(cell, watch=args.watch,
+                                   on_event=on_event if args.watch else None)
+
+    final = call(_service_address(args), exchange,
+                 timeout=args.connect_timeout)
+    if args.json:
+        print(json.dumps(final, indent=2, sort_keys=True))
+        return 0 if final.get("event") == "done" else 1
+    if final.get("event") == "done":
+        metrics = RunMetrics.from_dict(final["metrics"])
+        print(metrics.summary())
+        print(f"source={final.get('source')} seconds={final.get('seconds', 0.0):.2f} "
+              f"job={final.get('job')}")
+        return 0
+    error = final.get("error", {})
+    print(f"submit failed: {error.get('type', 'Error')}: "
+          f"{error.get('message', '')}", file=sys.stderr)
+    return 1
+
+
+def cmd_jobs(args) -> int:
+    from .service import call
+
+    async def exchange(client):
+        return await client.jobs()
+
+    reply = call(_service_address(args), exchange, timeout=args.connect_timeout)
+    jobs = reply.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+    for job in jobs:
+        line = (f"{job.get('job')}: {job.get('label')} "
+                f"[{job.get('state')}] subscribers={job.get('subscribers', 0)}")
+        if job.get("source"):
+            line += f" source={job['source']}"
+        if job.get("seconds"):
+            line += f" {job['seconds']:.2f}s"
+        print(line)
+    staging = reply.get("staging", [])
+    if staging:
+        print("staged graphs: " + ", ".join(
+            f"{record.get('dataset')}@{record.get('scale'):g} "
+            f"({record.get('source')})"
+            for record in staging
+        ))
+    return 0
+
+
+def cmd_shutdown(args) -> int:
+    from .service import call
+
+    async def exchange(client):
+        return await client.shutdown(drain=not args.no_drain)
+
+    reply = call(_service_address(args), exchange, timeout=args.connect_timeout)
+    mode = "drain" if reply.get("drain", True) else "immediate"
+    print(f"shutdown requested ({mode})")
+    return 0
+
+
 def cmd_cache(args) -> int:
     from .graph.arena import GraphStore
     from .orchestrator import ResultCache
@@ -497,6 +750,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "experiment": cmd_experiment,
         "validate": cmd_validate,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "shutdown": cmd_shutdown,
         "cache": cmd_cache,
     }
     return handlers[args.command](args)

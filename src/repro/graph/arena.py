@@ -39,7 +39,6 @@ import hashlib
 import json
 import os
 import secrets
-import tempfile
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -48,6 +47,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..ioutil import atomic_open, atomic_write_json
 from .csr import CSRGraph
 
 #: Bump when the on-disk graph entry format changes; part of every key,
@@ -209,19 +209,8 @@ class GraphStore:
 
     def put_key(self, key: str, graph: CSRGraph) -> None:
         """Atomically persist one graph under ``key``."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(handle, indptr=graph.indptr, indices=graph.indices)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        with atomic_open(self.path_for(key), "wb") as handle:
+            np.savez(handle, indptr=graph.indptr, indices=graph.indices)
 
     def get(self, code: str, scale: float) -> Optional[CSRGraph]:
         """Load one registry dataset, or None."""
@@ -257,17 +246,7 @@ class GraphStore:
         except (OSError, ValueError):
             data = {}
         data[pattern] = {"count": int(count), "salt": count_salt()}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(data, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, data)
 
     # ------------------------------------------------------------------
     def _entry_paths(self):

@@ -9,6 +9,8 @@ The subsystem that owns experiment execution (see docs/orchestrator.md):
 * :mod:`~repro.orchestrator.scheduler` — planning (record the cells an
   experiment needs), pooled execution with timeout/retry, and replayed
   rendering that is byte-identical to the serial path;
+* :mod:`~repro.orchestrator.executor` — awaitable per-cell execution on
+  a long-lived warm pool (the ``repro serve`` back end);
 * :mod:`~repro.orchestrator.manifest` — per-cell outcomes, the failure
   report, and the wall-time/speedup summary.
 """
@@ -21,6 +23,7 @@ from .cache import (
     default_cache_root,
 )
 from .cells import CACHE_SCHEMA, CellSpec, cell_key, code_salt
+from .executor import PersistentCellExecutor
 from .manifest import CellOutcome, ExperimentOutcome, RunManifest
 from .scheduler import (
     PLANNABLE_EXPERIMENTS,
@@ -42,6 +45,7 @@ __all__ = [
     "ExperimentRun",
     "Orchestrator",
     "PLANNABLE_EXPERIMENTS",
+    "PersistentCellExecutor",
     "ResultCache",
     "RunManifest",
     "attach_persistent_cache",

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from ..ioutil import atomic_write_json
 from ..sim.metrics import RunMetrics
 from .cells import CACHE_SCHEMA, CellSpec, code_salt
 
@@ -101,9 +101,7 @@ class ResultCache:
             return None
 
     def put(self, spec: CellSpec, key: str, metrics: RunMetrics, seconds: float) -> None:
-        """Atomically persist one result."""
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Atomically persist one result (racing writers cannot tear it)."""
         payload = {
             "schema": CACHE_SCHEMA,
             "key": key,
@@ -112,17 +110,7 @@ class ResultCache:
             "seconds": seconds,
             "metrics": metrics.to_dict(),
         }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self.path_for(key), payload)
 
     # ------------------------------------------------------------------
     def _entry_paths(self):

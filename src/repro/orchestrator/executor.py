@@ -1,0 +1,287 @@
+"""Awaitable per-cell execution on a long-lived warm pool.
+
+The batch :class:`~repro.orchestrator.scheduler.Orchestrator` exposes
+one blocking entry point (``run_cells``) that stages graphs, runs a
+whole deduplicated grid, and tears everything down.  A serving process
+needs the opposite shape: stand the expensive state up **once** — the
+worker pool and the shared-memory graph arena — and then answer
+individual cells as they arrive, concurrently, without ever paying
+startup again.  :class:`PersistentCellExecutor` is that shape:
+
+* ``stage(dataset, scale)`` materializes a graph once — into the
+  process-local dataset memo and, in pool mode, a
+  :class:`~repro.graph.arena.GraphArena` segment workers attach to
+  zero-copy;
+* ``run_cell(spec, key)`` is an **awaitable**: it dispatches one cell
+  to the warm pool (or an in-process worker thread when ``jobs=1``)
+  and resolves to the same ``(metrics, error, seconds, worker)``
+  outcome tuple the batch scheduler produces, with the same structured
+  error isolation — a failing cell returns an error report, it never
+  poisons the pool;
+* a worker that dies hard (``BrokenProcessPool``) or exceeds its
+  timeout is replaced: the pool is rebuilt behind the same executor so
+  the next cell still finds it warm;
+* ``close()`` drains or cancels outstanding work and always unlinks
+  the arena's ``/dev/shm`` segments (idempotent, also a context
+  manager).
+
+``repro serve`` (:mod:`repro.service`) drives this executor; the batch
+orchestrator keeps its wave-based path, and both run the identical
+:func:`~repro.orchestrator.scheduler._execute_cell` worker body, which
+is what keeps daemon-served metrics byte-identical to batch-run ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..graph.arena import ArenaHandle, GraphArena, arena_enabled, worker_init
+from ..sim.metrics import RunMetrics
+from .cache import ResultCache
+from .cells import CellSpec, cell_key
+from .scheduler import _execute_cell, _spec_payload
+
+#: Outcome of one cell: (metrics, error, seconds, worker record).
+CellOutcomeTuple = Tuple[Optional[RunMetrics], Optional[dict], float, Optional[dict]]
+
+
+def _execute_staged_cell(payload: Tuple, handle: Optional[ArenaHandle]):
+    """Pool worker body: resolve the staged graph, then run the cell.
+
+    Graph resolution is best-effort — on any failure the cell falls back
+    to its own load path and still reports a proper structured error.
+    """
+    code, scale = payload[1], payload[5]
+    source, graph_seconds = "unresolved", 0.0
+    try:
+        from ..graph.arena import resolve_graph
+
+        _, source, graph_seconds = resolve_graph(code, scale, handle)
+    except BaseException:
+        pass
+    key, metrics_dict, error, seconds = _execute_cell(payload)
+    worker = {
+        "pid": os.getpid(),
+        "dataset_source": source,
+        "graph_seconds": round(graph_seconds, 6),
+    }
+    return key, metrics_dict, error, seconds, worker
+
+
+class PersistentCellExecutor:
+    """Warm pool + staged arenas behind awaitable per-cell dispatch.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` runs cells on a single in-process
+        worker thread (deterministic, fast to start — the test and
+        in-proc-transport default); higher values use a fork-context
+        ``ProcessPoolExecutor`` kept alive across cells.
+    cache:
+        Optional :class:`ResultCache` consulted by :meth:`lookup` and
+        written through by callers; the executor itself never consults
+        it (the service owns read-through policy).
+    timeout:
+        Per-cell wall-clock limit in seconds.  A timed-out cell returns
+        a ``TimeoutError`` report and, in pool mode, the pool is
+        rebuilt so the abandoned worker cannot absorb a later cell.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._pool: "ProcessPoolExecutor | ThreadPoolExecutor | None" = None
+        self._arena: Optional[GraphArena] = None
+        self._handles: Dict[Tuple[str, float], ArenaHandle] = {}
+        self._staged: Dict[Tuple[str, float], dict] = {}
+        self._closed = False
+        #: Real simulations dispatched (coalescing tests read this).
+        self.executions = 0
+
+    # ------------------------------------------------------------------
+    # staging
+    # ------------------------------------------------------------------
+    def stage(self, dataset: str, scale: float) -> dict:
+        """Materialize one graph once; returns its staging record.
+
+        Safe to call repeatedly and from executor threads: the first
+        call builds (or binary-loads) the graph into the process-local
+        memo and — in pool mode with usable shared memory — copies it
+        into an arena segment; later calls return the memoized record.
+        """
+        key = (dataset, float(scale))
+        with self._lock:
+            record = self._staged.get(key)
+            if record is not None:
+                return record
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            from ..graph.datasets import load_dataset_with_source
+
+            start = time.perf_counter()
+            record = {"dataset": dataset, "scale": float(scale)}
+            try:
+                graph, source = load_dataset_with_source(dataset, scale=scale)
+                record["source"] = source
+                record["vertices"] = graph.num_vertices
+                record["edges"] = graph.num_edges
+                if self._use_arena():
+                    if self._arena is None:
+                        self._arena = GraphArena()
+                    handle = self._arena.stage(dataset, float(scale), graph)
+                    self._handles[key] = handle
+                    record["arena"] = handle.shm_name
+            except Exception as exc:
+                record["source"] = "error"
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            record["seconds"] = round(time.perf_counter() - start, 6)
+            self._staged[key] = record
+            return record
+
+    def _use_arena(self) -> bool:
+        return self.jobs > 1 and arena_enabled() and GraphArena.available()
+
+    def staging(self) -> list:
+        """Every staging record so far (the service's ``jobs`` view)."""
+        with self._lock:
+            return [dict(r) for r in self._staged.values()]
+
+    def is_staged(self, dataset: str, scale: float) -> bool:
+        """Whether :meth:`stage` has already resolved this graph."""
+        return (dataset, float(scale)) in self._staged
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            if self._pool is None:
+                self._pool = self._make_pool()
+            return self._pool
+
+    def _make_pool(self):
+        if self.jobs == 1:
+            return ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-cell"
+            )
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            # fork inherits sys.path, loaded modules and the parent's
+            # dataset memo — workers start warm.
+            context = multiprocessing.get_context("fork")
+        staged = tuple(self._handles.values())
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=context,
+            initializer=worker_init if staged else None,
+            initargs=(staged,) if staged else (),
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken/abandoned pool so the next cell stays warm."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def lookup(self, key: str):
+        """Read-through consult of the persistent cache (or None)."""
+        if self.cache is None:
+            return None
+        return self.cache.get(key)
+
+    def submit(self, spec: CellSpec, key: Optional[str] = None) -> Future:
+        """Dispatch one cell to the warm pool; returns its Future."""
+        key = key if key is not None else cell_key(spec)
+        payload = _spec_payload(key, spec)
+        handle = self._handles.get((spec.dataset, float(spec.scale)))
+        pool = self._ensure_pool()
+        self.executions += 1
+        return pool.submit(_execute_staged_cell, payload, handle)
+
+    async def run_cell(
+        self, spec: CellSpec, key: Optional[str] = None
+    ) -> CellOutcomeTuple:
+        """Awaitable per-cell execution with structured error isolation.
+
+        Never raises for a failing *cell* (the worker body converts any
+        exception into an error report); executor-level faults — a dead
+        worker process, a per-cell timeout — also come back as error
+        reports, after the pool has been rebuilt.
+        """
+        start = time.perf_counter()
+        try:
+            future = self.submit(spec, key)
+        except RuntimeError as exc:
+            error = {"type": type(exc).__name__, "message": str(exc),
+                     "traceback": ""}
+            return None, error, 0.0, None
+        wrapped = asyncio.wrap_future(future)
+        try:
+            if self.timeout is not None:
+                outcome = await asyncio.wait_for(wrapped, self.timeout)
+            else:
+                outcome = await wrapped
+        except asyncio.TimeoutError:
+            future.cancel()
+            self._rebuild_pool()
+            error = {
+                "type": "TimeoutError",
+                "message": f"cell exceeded {self.timeout:.0f}s",
+                "traceback": "",
+            }
+            return None, error, time.perf_counter() - start, None
+        except Exception as exc:  # e.g. BrokenProcessPool
+            self._rebuild_pool()
+            error = {"type": type(exc).__name__, "message": str(exc),
+                     "traceback": ""}
+            return None, error, time.perf_counter() - start, None
+        _key, metrics_dict, error, seconds, worker = outcome
+        metrics = RunMetrics.from_dict(metrics_dict) if metrics_dict else None
+        return metrics, error, seconds, worker
+
+    # ------------------------------------------------------------------
+    def close(self, *, cancel: bool = True) -> None:
+        """Shut the pool down and unlink every arena segment (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            arena, self._arena = self._arena, None
+            self._handles = {}
+        try:
+            if pool is not None:
+                pool.shutdown(wait=not cancel, cancel_futures=cancel)
+        finally:
+            # Segments must never outlive the executor, whatever the
+            # pool teardown did.
+            if arena is not None:
+                arena.close()
+
+    def __enter__(self) -> "PersistentCellExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

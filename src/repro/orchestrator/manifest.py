@@ -16,10 +16,11 @@ one-cell-at-a-time cold run would have cost.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Union
+
+from ..ioutil import atomic_write_json
 
 
 @dataclass
@@ -150,10 +151,7 @@ class RunManifest:
         }
 
     def save(self, path: Union[str, os.PathLike]) -> None:
-        """Write the manifest as JSON (parent directories created)."""
-        path = os.fspath(path)
-        parent = os.path.dirname(path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the manifest as JSON, atomically (a concurrent reader —
+        e.g. ``repro jobs`` polling ``last-run.json`` — never sees a
+        partial file; parent directories are created)."""
+        atomic_write_json(path, self.to_dict(), indent=2)

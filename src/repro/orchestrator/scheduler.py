@@ -32,6 +32,8 @@ from __future__ import annotations
 import inspect
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
@@ -53,6 +55,47 @@ PLANNABLE_EXPERIMENTS = frozenset({
     "table1",
     "ablation_conservative_mode", "ablation_tokens", "ablation_pipeline_throughput",
 })
+
+
+class _InterruptGuard:
+    """Convert SIGTERM/SIGINT during a sweep into ``KeyboardInterrupt``.
+
+    ``kill -TERM`` would normally terminate the process between
+    bytecodes, skipping every ``finally`` on the stack — including the
+    one that unlinks the graph arena's shared-memory segments.  While
+    the guard is active both signals raise in the main thread instead,
+    so an interrupted sweep unwinds through the same cleanup path as a
+    ^C: in-flight cells are abandoned, queued ones cancelled, and
+    ``/dev/shm`` left clean.  Off the main thread (the ``repro serve``
+    daemon runs sweeps from worker tasks) it is a no-op — the daemon's
+    event loop owns signal disposition there.
+    """
+
+    def __init__(self) -> None:
+        self._previous: Dict[int, object] = {}
+        self.signum: Optional[int] = None
+
+    def __enter__(self) -> "_InterruptGuard":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, self._raise)
+            except (ValueError, OSError):  # exotic runtimes
+                pass
+        return self
+
+    def _raise(self, signum, frame) -> None:
+        self.signum = signum
+        raise KeyboardInterrupt(signal.Signals(signum).name)
+
+    def __exit__(self, *exc) -> bool:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        return False
 
 
 class CellExecutionError(RuntimeError):
@@ -151,6 +194,10 @@ def _execute_cell(payload: Tuple) -> Tuple[str, Optional[dict], Optional[dict], 
             dataset, pattern, policy, config=config, scale=scale, verify=verify
         )
         return (key, metrics.to_dict(), None, time.perf_counter() - start)
+    except KeyboardInterrupt:
+        # An interrupt is aimed at the sweep, not the cell: let it
+        # unwind (the _InterruptGuard converts SIGTERM into this too).
+        raise
     except BaseException as exc:  # structured failure report, not a crash
         error = {
             "type": type(exc).__name__,
@@ -275,43 +322,80 @@ class Orchestrator:
         total = len(specs)
         arena: Optional[GraphArena] = None
         handles: Dict[Tuple[str, float], ArenaHandle] = {}
-        if pending:
-            arena, handles = self._stage_graphs(pending, manifest)
+        guard = _InterruptGuard()
         try:
-            while wave:
-                outcomes = self._run_wave(
-                    wave, done=len(results), total=total, handles=handles
+            with guard:
+                if pending:
+                    arena, handles = self._stage_graphs(pending, manifest)
+                results, failures = self._run_waves(
+                    wave, attempts, results, failures, manifest,
+                    total=total, handles=handles,
                 )
-                next_wave: Dict[str, CellSpec] = {}
-                for key, (metrics, error, seconds, worker) in outcomes.items():
-                    attempts[key] += 1
-                    spec = wave[key]
-                    if metrics is not None:
-                        results[key] = metrics
-                        manifest.cells.append(
-                            CellOutcome(key, spec.label(), "computed",
-                                        seconds, attempts[key], worker=worker)
-                        )
-                        if self.cache is not None:
-                            self.cache.put(spec, key, metrics, seconds)
-                    elif attempts[key] <= self.retries:
-                        self._report(
-                            f"[retry {attempts[key]}/{self.retries}] {spec.label()}: "
-                            f"{(error or {}).get('type', 'Error')}"
-                        )
-                        next_wave[key] = spec
-                    else:
-                        failures[key] = error or {}
-                        manifest.cells.append(
-                            CellOutcome(key, spec.label(), "failed",
-                                        seconds, attempts[key], error, worker)
-                        )
-                wave = next_wave
+        except KeyboardInterrupt:
+            name = signal.Signals(guard.signum).name if guard.signum else "SIGINT"
+            self._report(f"{name}: draining — cancelling in-flight cells")
+            for key, spec in wave.items():
+                if key in results or key in failures:
+                    continue
+                failures[key] = {
+                    "type": "Interrupted",
+                    "message": f"sweep interrupted by {name}",
+                    "traceback": "",
+                }
+                manifest.cells.append(
+                    CellOutcome(key, spec.label(), "failed",
+                                0.0, attempts.get(key, 0), failures[key])
+                )
+            raise
         finally:
             # Segments must never outlive the sweep — success, cell
-            # failure, timeout or a broken pool all land here.
+            # failure, timeout, a broken pool or an interrupt all land
+            # here before the exception (if any) propagates.
             if arena is not None:
                 arena.close()
+        return results, failures
+
+    def _run_waves(
+        self,
+        wave: Dict[str, CellSpec],
+        attempts: Dict[str, int],
+        results: Dict[str, RunMetrics],
+        failures: Dict[str, dict],
+        manifest: RunManifest,
+        *,
+        total: int,
+        handles: Dict[Tuple[str, float], ArenaHandle],
+    ) -> Tuple[Dict[str, RunMetrics], Dict[str, dict]]:
+        """Retry loop over waves of pending cells (in-place updates)."""
+        while wave:
+            outcomes = self._run_wave(
+                wave, done=len(results), total=total, handles=handles
+            )
+            next_wave: Dict[str, CellSpec] = {}
+            for key, (metrics, error, seconds, worker) in outcomes.items():
+                attempts[key] += 1
+                spec = wave[key]
+                if metrics is not None:
+                    results[key] = metrics
+                    manifest.cells.append(
+                        CellOutcome(key, spec.label(), "computed",
+                                    seconds, attempts[key], worker=worker)
+                    )
+                    if self.cache is not None:
+                        self.cache.put(spec, key, metrics, seconds)
+                elif attempts[key] <= self.retries:
+                    self._report(
+                        f"[retry {attempts[key]}/{self.retries}] {spec.label()}: "
+                        f"{(error or {}).get('type', 'Error')}"
+                    )
+                    next_wave[key] = spec
+                else:
+                    failures[key] = error or {}
+                    manifest.cells.append(
+                        CellOutcome(key, spec.label(), "failed",
+                                    seconds, attempts[key], error, worker)
+                    )
+            wave = next_wave
         return results, failures
 
     # ------------------------------------------------------------------
@@ -436,7 +520,7 @@ class Orchestrator:
             initializer=worker_init if staged else None,
             initargs=(staged,) if staged else (),
         )
-        timed_out = False
+        abandon = False
         try:
             futures = {
                 executor.submit(_execute_cell_group, group): group
@@ -452,7 +536,7 @@ class Orchestrator:
                     group_results = future.result(timeout=budget)
                 except FutureTimeoutError:
                     future.cancel()
-                    timed_out = True
+                    abandon = True
                     error = {
                         "type": "TimeoutError",
                         "message": f"cell group exceeded {budget:.0f}s",
@@ -478,10 +562,16 @@ class Orchestrator:
                     self._progress_line(
                         wave[key], metrics is not None, seconds, done, total
                     )
+        except BaseException:
+            # Interrupted (or pool machinery blew up): never wait on
+            # in-flight workers — cancel what's queued and unwind so the
+            # arena cleanup above still runs promptly.
+            abandon = True
+            raise
         finally:
             # A hung worker must not block the sweep: abandon it and let
             # process teardown reap it.
-            executor.shutdown(wait=not timed_out, cancel_futures=True)
+            executor.shutdown(wait=not abandon, cancel_futures=True)
         return outcomes
 
     def _progress_line(self, spec, ok, seconds, done, total):

@@ -1,0 +1,82 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its clients.
+
+The serving front end over the orchestrator (see docs/service.md):
+
+* :mod:`~repro.service.protocol` — the NDJSON message schema, job
+  lifecycle states, and cell (de)serialization;
+* :mod:`~repro.service.transports` — pluggable listeners/connections:
+  unix socket, TCP, and an in-process transport for deterministic
+  tests;
+* :mod:`~repro.service.jobs` — job records, the bounded queue, and the
+  in-flight coalescer (K identical submissions, one execution);
+* :mod:`~repro.service.server` — the asyncio daemon: cache
+  read-through, streaming progress events, backpressure, graceful
+  shutdown;
+* :mod:`~repro.service.client` — the async client plus the sync facade
+  the ``repro submit`` / ``repro jobs`` / ``repro shutdown`` commands
+  use.
+"""
+
+from .client import AsyncServiceClient, ServiceError, call
+from .jobs import Job, JobBoard, Subscriber
+from .protocol import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_STATES,
+    PROTOCOL_VERSION,
+    QUEUED,
+    RUNNING,
+    STAGING,
+    TERMINAL_STATES,
+    ProtocolError,
+    cell_from_wire,
+    cell_to_wire,
+    config_from_wire,
+    config_to_wire,
+)
+from .server import ReproService, serve, serve_inproc
+from .transports import (
+    InProcConnection,
+    InProcListener,
+    StreamConnection,
+    TCPListener,
+    UnixListener,
+    listener_for,
+    open_connection,
+    parse_address,
+)
+
+__all__ = [
+    "AsyncServiceClient",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "InProcConnection",
+    "InProcListener",
+    "JOB_STATES",
+    "Job",
+    "JobBoard",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUEUED",
+    "RUNNING",
+    "ReproService",
+    "STAGING",
+    "ServiceError",
+    "StreamConnection",
+    "Subscriber",
+    "TCPListener",
+    "TERMINAL_STATES",
+    "UnixListener",
+    "call",
+    "cell_from_wire",
+    "cell_to_wire",
+    "config_from_wire",
+    "config_to_wire",
+    "listener_for",
+    "open_connection",
+    "parse_address",
+    "serve",
+    "serve_inproc",
+]

@@ -1,0 +1,188 @@
+"""Thin client for the ``repro serve`` daemon.
+
+:class:`AsyncServiceClient` multiplexes any number of in-flight
+requests over one connection: a background receive loop routes every
+reply/event to its request by the echoed ``id``, so K concurrent
+submits on one connection work exactly like K connections (the server
+coalesces them either way).  A sync facade (:func:`call`) runs one
+client exchange under ``asyncio.run`` for the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Awaitable, Callable, Dict, Optional
+
+from . import protocol
+from .transports import InProcListener, open_connection
+
+
+class ServiceError(RuntimeError):
+    """A structured failure reply from the daemon."""
+
+    def __init__(self, error: dict) -> None:
+        self.error = dict(error or {})
+        super().__init__(
+            f"{self.error.get('type', 'Error')}: {self.error.get('message', '')}"
+        )
+
+
+class AsyncServiceClient:
+    """Protocol client over any transport connection."""
+
+    def __init__(self, connection) -> None:
+        self._conn = connection
+        self._ids = itertools.count(1)
+        self._pending: Dict[str, asyncio.Queue] = {}
+        self._recv_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    async def connect(
+        cls,
+        address: str,
+        *,
+        timeout: float = 10.0,
+        retry_interval: float = 0.2,
+    ) -> "AsyncServiceClient":
+        """Connect to a socket daemon, retrying until ``timeout``.
+
+        Retrying lets clients start before the daemon finishes binding
+        (the CI smoke job backgrounds ``repro serve`` and submits
+        immediately).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                connection = await open_connection(address)
+                break
+            except (ConnectionError, FileNotFoundError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(retry_interval)
+        client = cls(connection)
+        client._start()
+        return client
+
+    @classmethod
+    def inproc(cls, listener: InProcListener) -> "AsyncServiceClient":
+        """Connect through an in-process listener (tests, benchmarks)."""
+        client = cls(listener.connect())
+        client._start()
+        return client
+
+    def _start(self) -> None:
+        self._recv_task = asyncio.get_running_loop().create_task(
+            self._recv_loop()
+        )
+
+    async def _recv_loop(self) -> None:
+        try:
+            while True:
+                message = await self._conn.recv()
+                if message is None:
+                    break
+                queue = self._pending.get(message.get("id"))
+                if queue is not None:
+                    queue.put_nowait(message)
+        finally:
+            for queue in self._pending.values():
+                queue.put_nowait(None)  # EOF fan-out
+
+    async def close(self) -> None:
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+        await self._conn.close()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def _register(self) -> "tuple[str, asyncio.Queue]":
+        req_id = f"r{next(self._ids)}"
+        queue: asyncio.Queue = asyncio.Queue()
+        self._pending[req_id] = queue
+        return req_id, queue
+
+    async def request(self, op: str, **fields) -> dict:
+        """One request, one reply (``ping`` / ``jobs`` / ``stats`` / ...)."""
+        req_id, queue = self._register()
+        try:
+            await self._conn.send({"op": op, "id": req_id, **fields})
+            reply = await queue.get()
+        finally:
+            self._pending.pop(req_id, None)
+        if reply is None:
+            raise ConnectionError("server closed the connection")
+        return reply
+
+    async def submit(
+        self,
+        cell: dict,
+        *,
+        watch: bool = False,
+        on_event: Optional[Callable[[dict], "Awaitable[None] | None"]] = None,
+    ) -> dict:
+        """Submit one cell; returns the terminal event (``done`` etc.).
+
+        With ``watch`` every intermediate event is passed to
+        ``on_event`` (sync or async) as it streams in.
+        """
+        req_id, queue = self._register()
+        try:
+            await self._conn.send(
+                {"op": "submit", "id": req_id, "cell": cell, "watch": watch}
+            )
+            while True:
+                message = await queue.get()
+                if message is None:
+                    raise ConnectionError("server closed the connection")
+                if on_event is not None:
+                    result = on_event(message)
+                    if asyncio.iscoroutine(result):
+                        await result
+                if protocol.is_terminal(message):
+                    return message
+        finally:
+            self._pending.pop(req_id, None)
+
+    async def submit_metrics(self, cell: dict, **kwargs) -> dict:
+        """Submit and unwrap: the ``done`` event, or :class:`ServiceError`."""
+        final = await self.submit(cell, **kwargs)
+        if final.get("event") == protocol.DONE:
+            return final
+        raise ServiceError(final.get("error", {}))
+
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def jobs(self) -> dict:
+        return await self.request("jobs")
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def shutdown(self, drain: bool = True) -> dict:
+        return await self.request("shutdown", drain=drain)
+
+
+def call(address: str, fn, *, timeout: float = 10.0):
+    """Sync facade: connect, run ``await fn(client)``, close (the CLI)."""
+
+    async def run():
+        client = await AsyncServiceClient.connect(address, timeout=timeout)
+        try:
+            return await fn(client)
+        finally:
+            await client.close()
+
+    return asyncio.run(run())

@@ -1,0 +1,150 @@
+"""Job records, the bounded queue, and the in-flight coalescer.
+
+A **job** is one accepted cell execution.  Identical cells are
+deduplicated at two levels before a job is ever created:
+
+* **read-through** — a cell whose key is already in the persistent
+  ``.repro-cache/`` is answered immediately, no job queued;
+* **coalescing** — a cell whose key is already *in flight* attaches the
+  new subscriber to the existing job, so K concurrent identical
+  submissions cost exactly one execution (the coalescer is the
+  authority the acceptance tests query).
+
+The queue is bounded: :meth:`JobBoard.accept` refuses a new key once
+``queue_limit`` jobs are waiting or running, which is the service's
+backpressure contract (reject-and-retry, never block the accept loop —
+see docs/service.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..orchestrator.cells import CellSpec
+from . import protocol
+
+
+@dataclass
+class Subscriber:
+    """One submit request watching a job."""
+
+    req_id: Optional[str]
+    send: "object"              # async callable(message) — the connection
+    watch: bool = False
+    coalesced: bool = False
+
+
+@dataclass
+class Job:
+    """One accepted cell execution and everyone watching it."""
+
+    id: str
+    key: str
+    spec: CellSpec
+    state: str = protocol.QUEUED
+    created: float = field(default_factory=time.time)
+    #: Monotonic reference for the per-state ``ts`` timings.
+    _clock0: float = field(default_factory=time.perf_counter)
+    #: state -> seconds since the job was accepted.
+    timing: Dict[str, float] = field(default_factory=dict)
+    subscribers: List[Subscriber] = field(default_factory=list)
+    source: Optional[str] = None     # "computed" | "cache"
+    seconds: float = 0.0             # cell execution wall
+    metrics: Optional[dict] = None   # serialized RunMetrics
+    error: Optional[dict] = None
+    worker: Optional[dict] = None
+
+    def mark(self, state: str) -> float:
+        """Transition to ``state``; returns seconds since acceptance."""
+        ts = time.perf_counter() - self._clock0
+        self.state = state
+        self.timing[state] = round(ts, 6)
+        return ts
+
+    @property
+    def done(self) -> bool:
+        return self.state in protocol.TERMINAL_STATES
+
+    def describe(self) -> dict:
+        """The ``repro jobs`` view of this job."""
+        record = {
+            "job": self.id,
+            "key": self.key,
+            "label": self.spec.label(),
+            "state": self.state,
+            "created": self.created,
+            "timing": dict(self.timing),
+            "subscribers": len(self.subscribers),
+        }
+        if self.source is not None:
+            record["source"] = self.source
+        if self.seconds:
+            record["seconds"] = self.seconds
+        if self.error is not None:
+            record["error"] = {
+                "type": self.error.get("type"),
+                "message": self.error.get("message"),
+            }
+        return record
+
+
+class JobBoard:
+    """Owns every job: the in-flight index, the history, the counters."""
+
+    def __init__(self, queue_limit: int = 64, history_limit: int = 256) -> None:
+        self.queue_limit = max(1, int(queue_limit))
+        self.history_limit = max(1, int(history_limit))
+        self._ids = itertools.count(1)
+        #: key -> live Job (queued/staging/running): the coalescer.
+        self.inflight: Dict[str, Job] = {}
+        #: job id -> Job, completed jobs retained for ``repro jobs``.
+        self.history: Dict[str, Job] = {}
+        self.stats = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "executed": 0,
+            "failed": 0,
+            "rejected": 0,
+            "cancelled": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def accept(self, key: str, spec: CellSpec) -> Optional[Job]:
+        """Admit a new job for ``key``, or None if the queue is full.
+
+        The caller has already ruled out read-through and coalescing;
+        this only enforces the bound and allocates the record.
+        """
+        if len(self.inflight) >= self.queue_limit:
+            self.stats["rejected"] += 1
+            return None
+        job = Job(id=f"j{next(self._ids)}", key=key, spec=spec)
+        self.inflight[key] = job
+        return job
+
+    def coalesce(self, key: str) -> Optional[Job]:
+        """The live job already executing ``key``, if any."""
+        job = self.inflight.get(key)
+        if job is not None:
+            self.stats["coalesced"] += 1
+        return job
+
+    def retire(self, job: Job) -> None:
+        """Move a finished job out of the in-flight index."""
+        current = self.inflight.get(job.key)
+        if current is job:
+            del self.inflight[job.key]
+        self.history[job.id] = job
+        while len(self.history) > self.history_limit:
+            self.history.pop(next(iter(self.history)))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> List[dict]:
+        """Live jobs first (oldest first), then recent history."""
+        live = sorted(self.inflight.values(), key=lambda j: j.created)
+        past = sorted(self.history.values(), key=lambda j: j.created)
+        return [job.describe() for job in live + past]

@@ -1,0 +1,221 @@
+"""Wire protocol of ``repro serve``: newline-delimited JSON messages.
+
+One message is one JSON object on one line (NDJSON).  The protocol is
+deliberately small and transport-agnostic — the same dictionaries flow
+over a unix/TCP socket and over the in-process transport used by tests
+and benchmarks (see :mod:`repro.service.transports`).
+
+Requests (client → server)
+--------------------------
+Every request is ``{"op": <name>, "id": <correlation>, ...}``.  The
+``id`` is chosen by the client and echoed on every reply so multiple
+requests can be in flight on one connection.
+
+``ping``
+    Liveness probe; replies ``{"ok": true, "server": ..., "protocol": 1}``.
+``submit``
+    ``{"op": "submit", "id": ..., "cell": <cell>, "watch": bool}``.
+    ``<cell>`` carries the cell coordinates — ``dataset``, ``pattern``,
+    ``policy``, optional ``scale`` (default: the server's
+    ``default_scale()``), optional ``verify`` (default true) and an
+    optional ``config`` dictionary of :class:`~repro.sim.config.SimConfig`
+    field overrides applied on top of the evaluation configuration
+    (:func:`repro.experiments.runner.eval_config`) — an empty/absent
+    ``config`` therefore addresses exactly the cells ``repro
+    experiment`` runs.  With ``watch`` the server streams every state
+    transition; without it only the final event arrives.
+``jobs``
+    Snapshot of recent jobs and staged graphs.
+``stats``
+    Server counters (submitted / cache_hits / coalesced / executed /
+    failed / rejected) plus queue occupancy.
+``shutdown``
+    Ask the daemon to stop (``{"drain": bool}``, default true: finish
+    the running cell, cancel the queue, then exit).
+
+Events (server → client)
+------------------------
+``{"event": <state>, "id": ..., "job": ..., "key": ..., ...}`` where
+``<state>`` walks the job lifecycle::
+
+    queued -> staging -> running -> done | failed | cancelled
+
+Terminal events carry the payload: ``done`` has ``metrics`` (the
+serialized :class:`~repro.sim.metrics.RunMetrics`), ``seconds`` and
+``source`` (``computed`` or ``cache``; coalesced subscribers also get
+``"coalesced": true``); ``failed`` has a structured ``error`` with
+``type`` / ``message`` / ``traceback``.  Intermediate events carry
+``ts``, seconds since the job was accepted.
+
+Backpressure
+------------
+The job queue is bounded.  A ``submit`` that arrives with the queue
+full is **rejected immediately** with a ``failed`` event whose error
+type is ``QueueFull`` — the server never blocks a connection on queue
+space, so a slow consumer cannot wedge the accept loop; clients are
+expected to back off and retry.  A submit arriving during shutdown is
+rejected the same way with ``ShuttingDown``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Optional
+
+from ..orchestrator.cells import CellSpec
+from ..sim.config import SimConfig
+
+PROTOCOL_VERSION = 1
+SERVER_NAME = "repro-serve"
+
+# Job lifecycle states (also the ``event`` names on the wire).
+QUEUED = "queued"
+STAGING = "staging"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Every state, in lifecycle order (documentation + validation).
+JOB_STATES = (QUEUED, STAGING, RUNNING, DONE, FAILED, CANCELLED)
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be parsed or fails validation."""
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+def encode(message: dict) -> bytes:
+    """One message as one NDJSON line (the only framing on the wire)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line: bytes) -> dict:
+    """Parse one NDJSON line; raises :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# cell (de)serialization
+# ----------------------------------------------------------------------
+
+def config_to_wire(config: SimConfig) -> dict:
+    """Every SimConfig field by name (adding a knob widens the wire)."""
+    return {
+        f.name: getattr(config, f.name) for f in dataclasses.fields(config)
+    }
+
+
+def config_from_wire(overrides: Optional[dict]) -> SimConfig:
+    """Rebuild a SimConfig from wire overrides on the evaluation config.
+
+    A full field dictionary (what :func:`config_to_wire` sends)
+    reconstructs the exact configuration; a partial one is treated as
+    overrides on :func:`~repro.experiments.runner.eval_config`, matching
+    ``repro experiment`` semantics.  Unknown keys are rejected — a typo
+    must not silently address a different cell.
+    """
+    from ..experiments.runner import eval_config
+
+    overrides = dict(overrides or {})
+    known = {f.name for f in dataclasses.fields(SimConfig)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ProtocolError(f"unknown config field(s): {', '.join(unknown)}")
+    return eval_config(**overrides)
+
+
+def cell_to_wire(spec: CellSpec) -> dict:
+    """A CellSpec as a submit request's ``cell`` payload."""
+    return {
+        "dataset": spec.dataset,
+        "pattern": spec.pattern,
+        "policy": spec.policy,
+        "scale": spec.scale,
+        "verify": spec.verify,
+        "config": config_to_wire(spec.config),
+    }
+
+
+def cell_from_wire(cell: object) -> CellSpec:
+    """Validate and resolve a submit request's ``cell`` payload."""
+    if not isinstance(cell, dict):
+        raise ProtocolError("submit requires a 'cell' object")
+    missing = [k for k in ("dataset", "pattern", "policy") if not cell.get(k)]
+    if missing:
+        raise ProtocolError(f"cell is missing {', '.join(missing)}")
+    from ..experiments.runner import default_scale
+
+    scale = cell.get("scale")
+    config = cell.get("config")
+    if config is not None and not isinstance(config, dict):
+        raise ProtocolError("cell 'config' must be an object")
+    try:
+        return CellSpec(
+            dataset=str(cell["dataset"]),
+            pattern=str(cell["pattern"]),
+            policy=str(cell["policy"]),
+            scale=float(scale) if scale is not None else default_scale(),
+            config=config_from_wire(config),
+            verify=bool(cell.get("verify", True)),
+        )
+    except ProtocolError:
+        raise
+    except Exception as exc:  # e.g. ConfigError from SimConfig validation
+        raise ProtocolError(f"invalid cell: {type(exc).__name__}: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# message constructors (the single source of reply shapes)
+# ----------------------------------------------------------------------
+
+def ok_reply(req_id: Optional[str] = None, **fields) -> dict:
+    message = {"ok": True}
+    if req_id is not None:
+        message["id"] = req_id
+    message.update(fields)
+    return message
+
+
+def error_reply(
+    error_type: str, message: str, req_id: Optional[str] = None
+) -> dict:
+    reply = {"ok": False, "error": {"type": error_type, "message": message}}
+    if req_id is not None:
+        reply["id"] = req_id
+    return reply
+
+
+def job_event(
+    state: str,
+    *,
+    job_id: str,
+    key: str,
+    req_id: Optional[str] = None,
+    **fields,
+) -> dict:
+    event = {"event": state, "job": job_id, "key": key}
+    if req_id is not None:
+        event["id"] = req_id
+    event.update(fields)
+    return event
+
+
+def is_terminal(message: dict) -> bool:
+    """Whether a reply/event ends a submit exchange."""
+    if message.get("event") in TERMINAL_STATES:
+        return True
+    return "ok" in message and not message.get("ok")

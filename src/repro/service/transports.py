@@ -1,0 +1,314 @@
+"""Pluggable transports for the service: sockets for real use, an
+in-process pair for fast deterministic tests.
+
+The abstraction is two small duck types (in the spirit of
+``distributed.comm``'s core/inproc split):
+
+* **Connection** — ``await send(message)``, ``await recv() -> dict |
+  None`` (None = peer closed), ``await close()``.  Sends are serialized
+  per connection so concurrent request handlers cannot interleave
+  frames.
+* **Listener** — ``await start(handler)`` begins accepting and invokes
+  ``handler(connection)`` as a task per peer; ``await close()`` stops
+  accepting and closes every live connection.
+
+Transport matrix (see docs/service.md):
+
+============  =========================  ==================================
+transport     address                    use
+============  =========================  ==================================
+unix socket   ``unix:/path`` or a path   local daemon (the CI smoke job)
+TCP           ``tcp:host:port``          trusted-network clients
+in-process    ``InProcListener``         tests, benchmarks, embedding
+============  =========================  ==================================
+
+Socket framing is NDJSON (:func:`repro.service.protocol.encode`); the
+in-process transport skips serialization entirely and passes message
+dictionaries through paired ``asyncio.Queue`` objects — messages are
+deep-copied via the codec so a test cannot accidentally share mutable
+state across the "wire", keeping the two transports semantically
+identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Awaitable, Callable, Optional, Tuple
+
+from .protocol import ProtocolError, decode, encode
+
+#: Per-connection read buffer limit: a jobs listing over a busy daemon
+#: can exceed asyncio's 64 KiB default line limit.
+STREAM_LIMIT = 4 * 1024 * 1024
+
+ConnectionHandler = Callable[["object"], Awaitable[None]]
+
+
+# ----------------------------------------------------------------------
+# socket transport
+# ----------------------------------------------------------------------
+
+class StreamConnection:
+    """NDJSON over an asyncio stream pair (unix or TCP)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+
+    async def send(self, message: dict) -> None:
+        if self._closed:
+            raise ConnectionError("connection is closed")
+        async with self._send_lock:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+
+    async def recv(self) -> Optional[dict]:
+        while True:
+            try:
+                line = await self._reader.readline()
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return None
+            if not line:
+                return None
+            if line.strip() == b"":
+                continue  # tolerate blank keep-alive lines
+            return decode(line)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _StreamListener:
+    """Shared accept loop for the unix and TCP listeners."""
+
+    def __init__(self) -> None:
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handler: Optional[ConnectionHandler] = None
+        self._connections: "set[StreamConnection]" = set()
+        self._tasks: "set[asyncio.Task]" = set()
+
+    async def _start_server(self, handler: ConnectionHandler):
+        raise NotImplementedError
+
+    async def start(self, handler: ConnectionHandler) -> None:
+        self._handler = handler
+        self._server = await self._start_server(handler)
+
+    async def _accept(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = StreamConnection(reader, writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        try:
+            await self._handler(connection)
+        finally:
+            await connection.close()
+            self._connections.discard(connection)
+            if task is not None:
+                self._tasks.discard(task)
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for connection in list(self._connections):
+            await connection.close()
+        for task in list(self._tasks):
+            task.cancel()
+
+
+class UnixListener(_StreamListener):
+    """A unix-domain socket listener (``unix:/path``)."""
+
+    def __init__(self, path: "str | os.PathLike") -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+
+    def describe(self) -> str:
+        return f"unix:{self.path}"
+
+    async def _start_server(self, handler: ConnectionHandler):
+        # A stale socket file from a dead daemon would make bind fail.
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        return await asyncio.start_unix_server(
+            self._accept, path=self.path, limit=STREAM_LIMIT
+        )
+
+    async def close(self) -> None:
+        await super().close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class TCPListener(_StreamListener):
+    """A TCP listener (``tcp:host:port``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__()
+        self.host = host
+        self.port = port
+
+    def describe(self) -> str:
+        return f"tcp:{self.host}:{self.port}"
+
+    async def _start_server(self, handler: ConnectionHandler):
+        server = await asyncio.start_server(
+            self._accept, host=self.host, port=self.port, limit=STREAM_LIMIT
+        )
+        # Resolve port 0 to the bound port so clients can be pointed at it.
+        sockets = server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        return server
+
+
+# ----------------------------------------------------------------------
+# in-process transport
+# ----------------------------------------------------------------------
+
+class InProcConnection:
+    """One side of an in-process connection (paired queues).
+
+    Messages round-trip through the JSON codec so both transports
+    enforce identical serializability and never alias mutable payloads.
+    """
+
+    _CLOSE = object()
+
+    def __init__(
+        self, send_queue: asyncio.Queue, recv_queue: asyncio.Queue
+    ) -> None:
+        self._send_queue = send_queue
+        self._recv_queue = recv_queue
+        self._closed = False
+        self.peer: Optional["InProcConnection"] = None
+
+    async def send(self, message: dict) -> None:
+        if self._closed:
+            raise ConnectionError("connection is closed")
+        self._send_queue.put_nowait(json.loads(encode(message)))
+
+    async def recv(self) -> Optional[dict]:
+        if self._closed:
+            return None
+        message = await self._recv_queue.get()
+        if message is self._CLOSE:
+            self._closed = True
+            return None
+        return message
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Wake the peer's pending recv with EOF.
+        self._send_queue.put_nowait(self._CLOSE)
+
+
+class InProcListener:
+    """In-process listener: ``connect()`` yields the client side.
+
+    Each ``connect`` creates a fresh queue pair, hands the server side
+    to the handler as a task, and returns the client side — the exact
+    shape a socket accept produces, without any file descriptors.
+    """
+
+    def __init__(self) -> None:
+        self._handler: Optional[ConnectionHandler] = None
+        self._tasks: "set[asyncio.Task]" = set()
+        self._closed = False
+
+    def describe(self) -> str:
+        return "inproc"
+
+    async def start(self, handler: ConnectionHandler) -> None:
+        self._handler = handler
+
+    def connect(self) -> InProcConnection:
+        if self._closed or self._handler is None:
+            raise ConnectionError("in-process listener is not accepting")
+        client_to_server: asyncio.Queue = asyncio.Queue()
+        server_to_client: asyncio.Queue = asyncio.Queue()
+        client = InProcConnection(client_to_server, server_to_client)
+        server = InProcConnection(server_to_client, client_to_server)
+        client.peer, server.peer = server, client
+
+        async def run() -> None:
+            try:
+                await self._handler(server)
+            finally:
+                await server.close()
+
+        task = asyncio.get_running_loop().create_task(run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in list(self._tasks):
+            task.cancel()
+
+
+# ----------------------------------------------------------------------
+# addresses
+# ----------------------------------------------------------------------
+
+def parse_address(address: str) -> Tuple[str, ...]:
+    """``unix:/path``, ``tcp:host:port``, or a bare filesystem path.
+
+    Returns ``("unix", path)`` or ``("tcp", host, port)``.
+    """
+    if address.startswith("unix:"):
+        return ("unix", address[len("unix:"):])
+    if address.startswith("tcp:"):
+        rest = address[len("tcp:"):]
+        host, sep, port = rest.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ProtocolError(f"malformed tcp address: {address!r}")
+        return ("tcp", host or "127.0.0.1", int(port))
+    return ("unix", address)
+
+
+def listener_for(address: str):
+    """Build the listener an address string describes."""
+    parsed = parse_address(address)
+    if parsed[0] == "unix":
+        return UnixListener(parsed[1])
+    return TCPListener(parsed[1], parsed[2])
+
+
+async def open_connection(address: str) -> StreamConnection:
+    """Connect to a daemon by address string (one attempt)."""
+    parsed = parse_address(address)
+    if parsed[0] == "unix":
+        reader, writer = await asyncio.open_unix_connection(
+            parsed[1], limit=STREAM_LIMIT
+        )
+    else:
+        reader, writer = await asyncio.open_connection(
+            parsed[1], parsed[2], limit=STREAM_LIMIT
+        )
+    return StreamConnection(reader, writer)

@@ -181,9 +181,9 @@ def write_bundle(
         },
         "replay": f"repro validate fuzz --replay {path}",
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from ..ioutil import atomic_write_json
+
+    atomic_write_json(path, payload, indent=2, sort_keys=True, newline=True)
     return path
 
 

@@ -92,11 +92,11 @@ def load_snapshot(path: Path) -> Dict[str, object]:
 
 
 def write_snapshot(path: Path, payload: Dict[str, object]) -> None:
-    """Write one snapshot file (stable key order, trailing newline)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write one snapshot file atomically (stable key order, trailing
+    newline) — parallel ``--update`` runs cannot tear a snapshot."""
+    from ..ioutil import atomic_write_json
+
+    atomic_write_json(path, payload, indent=2, sort_keys=True, newline=True)
 
 
 def diff_values(expected: object, actual: object, path: str = "") -> List[str]:
