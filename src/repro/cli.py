@@ -67,9 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     count = sub.add_parser("count", help="exact match counting (software miner)")
     _add_graph_args(count)
     count.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
+    _add_backend_arg(count)
 
     sim = sub.add_parser("simulate", help="simulate the accelerator")
     _add_graph_args(sim)
+    _add_backend_arg(sim)
     sim.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
     sim.add_argument(
         "--policy", nargs="+", default=["shogun"], choices=sorted(POLICIES)
@@ -84,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cProfile one simulated cell and report hotspots (docs/performance.md)",
     )
     _add_graph_args(profile)
+    _add_backend_arg(profile)
     profile.add_argument("--pattern", required=True, choices=BENCHMARK_CODES)
     profile.add_argument("--policy", default="shogun", choices=sorted(POLICIES))
     profile.add_argument(
@@ -104,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("names", nargs="+", choices=EXPERIMENTS)
     _add_scale_arg(experiment)
+    _add_backend_arg(experiment)
     experiment.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for evaluation cells (1 = in-process)",
@@ -144,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir", default=None,
             help="cache directory (default: REPRO_CACHE_DIR or .repro-cache)",
         )
+        _add_backend_arg(p)
 
     v_all = vsub.add_parser(
         "all", help="oracle + invariant + golden checks (the CI smoke gate)"
@@ -180,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     v_inv.add_argument(
         "--patterns", nargs="+", default=["tc", "4cl"], choices=BENCHMARK_CODES
     )
+    _add_backend_arg(v_inv)
 
     v_golden = vsub.add_parser(
         "golden", help="diff RunMetrics against committed snapshots"
@@ -208,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replay", default=None, metavar="BUNDLE",
         help="re-run the case stored in a repro bundle instead of fuzzing",
     )
+    _add_backend_arg(v_fuzz)
 
     serve = sub.add_parser(
         "serve",
@@ -334,6 +341,30 @@ def _add_scale_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default=None, choices=("auto", "pure", "numba", "cext"),
+        help="kernel backend for the simulator hot path "
+             "(default: REPRO_BACKEND env var, then auto; see docs/performance.md)",
+    )
+
+
+def _apply_backend(args):
+    """Activate the requested kernel backend; returns the active set.
+
+    Also exports ``REPRO_BACKEND`` so worker processes (orchestrator
+    pools, the serve daemon) inherit the selection.
+    """
+    import os
+
+    from .sim import backend as kernel_backend
+
+    name = getattr(args, "backend", None)
+    if name:
+        os.environ["REPRO_BACKEND"] = name
+    return kernel_backend.activate(name)
+
+
 def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--dataset", choices=dataset_codes())
@@ -361,6 +392,7 @@ def cmd_datasets(args) -> int:
 
 
 def cmd_count(args) -> int:
+    _apply_backend(args)
     graph = _load_graph(args)
     schedule = benchmark_schedule(args.pattern)
     start = time.time()
@@ -373,6 +405,7 @@ def cmd_count(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    _apply_backend(args)
     graph = _load_graph(args)
     schedule = benchmark_schedule(args.pattern)
     overrides = {}
@@ -406,19 +439,28 @@ def cmd_profile(args) -> int:
     import json
     import pstats
 
+    from .sim import backend as kernel_backend
+
+    kernels = _apply_backend(args)
     graph = _load_graph(args)
     schedule = benchmark_schedule(args.pattern)
     config = eval_config()
     profiler = cProfile.Profile()
     start = time.time()
-    profiler.enable()
-    metrics = simulate(graph, schedule, policy=args.policy, config=config)
-    profiler.disable()
+    with kernel_backend.instrument() as kernel_stats:
+        profiler.enable()
+        metrics = simulate(graph, schedule, policy=args.policy, config=config)
+        profiler.disable()
     elapsed = time.time() - start
     print(metrics.summary())
     print(f"instrumented wall: {elapsed:.3f}s "
           "(cProfile overhead included; compare profiled runs only with "
           "profiled runs — see docs/performance.md)")
+    print(f"kernel backend: {kernels.name} "
+          f"({'compiled' if kernels.compiled else 'interpreted'})")
+    for kernel in kernel_backend.KernelSet.KERNELS:
+        calls, seconds = kernel_stats[kernel]
+        print(f"  {kernel:20s} {calls:>12,d} calls  {seconds:9.3f}s")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.json:
@@ -432,6 +474,11 @@ def cmd_profile(args) -> int:
             "policy": args.policy,
             "scale": _resolve_scale(args) if args.dataset else None,
             "sort": args.sort,
+            "backend": kernels.name,
+            "kernels": {
+                kernel: {"calls": calls, "seconds": seconds}
+                for kernel, (calls, seconds) in kernel_stats.items()
+            },
             "instrumented_wall_s": elapsed,
             "cycles": metrics.cycles,
             "matches": metrics.matches,
@@ -459,6 +506,7 @@ def cmd_profile(args) -> int:
 def cmd_experiment(args) -> int:
     from .orchestrator import Orchestrator, ResultCache, cache_enabled
 
+    _apply_backend(args)
     cache = None
     if not args.no_cache and cache_enabled():
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
@@ -501,6 +549,7 @@ def cmd_validate(args) -> int:
     )
     from .validate.invariants import checked_simulate
 
+    _apply_backend(args)
     command = args.validate_command
     ok = True
 

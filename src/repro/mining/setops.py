@@ -20,6 +20,17 @@ binary-search sweep — no concatenate-and-sort round trip.  The batched
 variants (:func:`intersect_multi`, :func:`intersect_bounded`,
 :func:`subtract_bounded`) chain that sweep without materializing
 intermediate copies beyond the shrinking survivor array.
+
+Backend dispatch
+----------------
+:func:`intersect` and :func:`subtract` are thin dispatchers: trivial
+cases (an empty operand) resolve here so every backend shares their
+exact semantics, and the general case routes through the module globals
+``_intersect_impl`` / ``_subtract_impl``.  The defaults are the numpy
+implementations below; ``repro.sim.backend`` rebinds them when a
+compiled backend (numba / C extension) is selected.  All
+implementations produce identical arrays — sorted unique ``int64`` —
+so every accounted metric downstream is backend-independent.
 """
 
 from __future__ import annotations
@@ -59,10 +70,8 @@ def as_sorted_array(values: Sequence[int]) -> np.ndarray:
     return _read_only(np.unique(np.asarray(items, dtype=np.int64)))
 
 
-def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Intersection of two sorted unique arrays (sorted unique result)."""
-    if len(a) == 0 or len(b) == 0:
-        return EMPTY
+def _intersect_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Binary-search intersection; both operands non-empty sorted unique."""
     if len(a) > len(b):
         a, b = b, a
     pos = b.searchsorted(a)
@@ -74,15 +83,47 @@ def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return a[b[pos] == a]
 
 
+def _subtract_numpy(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Binary-search subtraction; both operands non-empty sorted unique."""
+    pos = b.searchsorted(a)
+    np.minimum(pos, len(b) - 1, out=pos)
+    return a[b[pos] != a]
+
+
+def _intersect_multi_numpy(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Chained binary-search intersection (general case of
+    :func:`intersect_multi`): at least two operands, presorted
+    smallest-first, first operand non-empty."""
+    current = arrays[0]
+    for arr in arrays[1:]:
+        current = _intersect_numpy(current, arr)
+        if len(current) == 0:
+            return EMPTY
+    return current
+
+
+#: Active general-case implementations.  ``repro.sim.backend`` rebinds
+#: these when a compiled backend is selected; the numpy kernels are the
+#: pure reference backend.
+_intersect_impl = _intersect_numpy
+_subtract_impl = _subtract_numpy
+_intersect_multi_impl = _intersect_multi_numpy
+
+
+def intersect(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection of two sorted unique arrays (sorted unique result)."""
+    if len(a) == 0 or len(b) == 0:
+        return EMPTY
+    return _intersect_impl(a, b)
+
+
 def subtract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Elements of ``a`` not present in ``b`` (both sorted unique)."""
     if len(a) == 0:
         return EMPTY
     if len(b) == 0:
         return a
-    pos = b.searchsorted(a)
-    np.minimum(pos, len(b) - 1, out=pos)
-    return a[b[pos] != a]
+    return _subtract_impl(a, b)
 
 
 def intersect_multi(arrays: Sequence[np.ndarray]) -> np.ndarray:
@@ -91,17 +132,18 @@ def intersect_multi(arrays: Sequence[np.ndarray]) -> np.ndarray:
     Processes operands smallest-first so every binary-search sweep runs
     over the shortest possible survivor array; intersection is
     associative and commutative, so the result is identical to any
-    pairwise chaining.
+    pairwise chaining.  The general case is a single backend kernel
+    (``_intersect_multi_impl``), so compiled backends pay one call's
+    marshalling for the whole chain instead of one per pair.
     """
     if not arrays:
         raise ValueError("intersect_multi needs at least one array")
     ordered = sorted(arrays, key=len)
-    current = ordered[0]
-    for arr in ordered[1:]:
-        if len(current) == 0:
-            return EMPTY
-        current = intersect(current, arr)
-    return current
+    if len(ordered) == 1:
+        return ordered[0]
+    if len(ordered[0]) == 0:
+        return EMPTY
+    return _intersect_multi_impl(ordered)
 
 
 def intersect_bounded(a: np.ndarray, b: np.ndarray, bound: int | None) -> np.ndarray:

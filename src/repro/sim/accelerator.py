@@ -31,7 +31,7 @@ from .config import DEFAULT_CONFIG, SimConfig
 from .engine import Engine
 from .memory import MemorySystem
 from .metrics import PEMetrics, RunMetrics
-from .pe import PE, PolicyFactory
+from .pe import PE, PEStateVector, PolicyFactory
 
 #: Registered scheduling policies by name.  ``fingers`` is an alias for
 #: pseudo-DFS, the baseline accelerator the paper compares against.
@@ -70,6 +70,8 @@ class Accelerator:
         self.config = config
         self.policy_name = policy
         self.engine = Engine()
+        # MemorySystem construction also activates the kernel backend
+        # (config.backend / REPRO_BACKEND / auto) for this process.
         self.memory = MemorySystem(config)
         self.context = SearchContext(graph, schedule)
         # Per-vertex L2 line span of each neighbor set, precomputed once:
@@ -83,6 +85,9 @@ class Accelerator:
             (base_addrs + graph.degrees * VERTEX_BYTES - 1) // line
         ).tolist()
         factory = policy_factory(policy)
+        # Shared struct-of-arrays PE state: every PE operates on its row,
+        # cohort completions and metrics collection sweep the columns.
+        self.pe_state = PEStateVector(config.num_pes, schedule.depth)
         self.pes: List[PE] = [PE(i, self, factory) for i in range(config.num_pes)]
         self._roots: Deque[int] = deque()
         self._pe_roots: List[Deque[int]] = [deque() for _ in self.pes]
@@ -238,24 +243,26 @@ class Accelerator:
         total_iu_busy = 0.0
         total_busy_slots = 0.0
         total_idle_with_work = 0.0
+        state = self.pe_state
         for pe in self.pes:
             pe._integrate()
-            l1 = self.memory.l1s[pe.pe_id]
-            window = self.memory.l1_windows[pe.pe_id]
+            i = pe.pe_id
+            l1 = self.memory.l1s[i]
+            window = self.memory.l1_windows[i]
             pm = PEMetrics(
-                pe_id=pe.pe_id,
-                tasks_executed=pe.tasks_executed,
-                matches=pe.matches,
+                pe_id=i,
+                tasks_executed=state.tasks_executed[i],
+                matches=state.matches[i],
                 trees_completed=pe.policy.trees_completed,
-                busy_slot_cycles=pe._busy_slot_cycles,
-                idle_with_work_cycles=pe._idle_with_work_cycles,
-                finish_cycle=pe.finish_cycle,
+                busy_slot_cycles=state.busy_slot_cycles[i],
+                idle_with_work_cycles=state.idle_with_work_cycles[i],
+                finish_cycle=state.finish_cycle[i],
                 iu_busy_cycles=pe.iu_pool.busy_cycles,
                 iu_utilization=pe.iu_pool.utilization(cycles),
                 l1_hits=l1.hits,
                 l1_misses=l1.misses,
                 l1_avg_latency=window.lifetime_average,
-                tasks_per_depth=list(pe.depth_executed),
+                tasks_per_depth=list(state.depth_executed[i]),
             )
             policy = pe.policy
             if isinstance(policy, ShogunPolicy):
@@ -267,14 +274,14 @@ class Accelerator:
                     run.merges += policy.merger.merges
                     run.quiesces += policy.merger.quiesces
             run.per_pe.append(pm)
-            run.matches += pe.matches
-            run.tasks_executed += pe.tasks_executed
-            for d, n in enumerate(pe.depth_executed):
+            run.matches += state.matches[i]
+            run.tasks_executed += state.tasks_executed[i]
+            for d, n in enumerate(state.depth_executed[i]):
                 run.tasks_per_depth[d] += n
             run.trees_completed += pe.policy.trees_completed
             total_iu_busy += pe.iu_pool.busy_cycles
-            total_busy_slots += pe._busy_slot_cycles
-            total_idle_with_work += pe._idle_with_work_cycles
+            total_busy_slots += state.busy_slot_cycles[i]
+            total_idle_with_work += state.idle_with_work_cycles[i]
 
         num_pes = len(self.pes)
         run.iu_utilization = total_iu_busy / (cycles * self.config.num_ius * num_pes)

@@ -1,0 +1,143 @@
+"""Loop-form kernel bodies shared by the numba backend and its tests.
+
+Each function here is the scalar-loop formulation of one backend kernel,
+written in the numba-compilable subset of Python (no dicts, no numpy
+fancy indexing, plain ``while``/``for`` over ``int64`` buffers).  The
+numba backend wraps them in ``njit``; the parity tests run the very same
+functions *interpreted*, so the kernel logic is covered locally even
+when numba is not installed.
+
+Floating-point kernels (:func:`ema_fold_loop`) use exactly the same
+double-precision expressions, in the same order, as the pure backend's
+Python loops — IEEE-754 doubles make the results bit-identical, which is
+what keeps golden metrics byte-identical across backends.  The C
+extension backend mirrors these bodies statement for statement (and is
+compiled with ``-ffp-contract=off`` so no fused multiply-adds sneak in).
+"""
+
+from __future__ import annotations
+
+
+def intersect_loop(a, b, out) -> int:
+    """Intersection of sorted unique ``a`` into ``out``; returns the count.
+
+    ``a`` is the smaller operand (caller swaps).  Two regimes, picked by
+    the size ratio exactly like the C kernel: a galloping binary-search
+    sweep when ``b`` dwarfs ``a`` (the searchsorted regime the numpy
+    backend always uses), otherwise the classic two-pointer merge.
+    """
+    na = a.shape[0]
+    nb = b.shape[0]
+    k = 0
+    if na * 32 < nb:
+        lo = 0
+        for i in range(na):
+            v = a[i]
+            left = lo
+            right = nb
+            while left < right:
+                mid = (left + right) >> 1
+                if b[mid] < v:
+                    left = mid + 1
+                else:
+                    right = mid
+            lo = left
+            if left < nb and b[left] == v:
+                out[k] = v
+                k += 1
+    else:
+        i = 0
+        j = 0
+        while i < na and j < nb:
+            x = a[i]
+            y = b[j]
+            if x == y:
+                out[k] = x
+                k += 1
+                i += 1
+                j += 1
+            elif x < y:
+                i += 1
+            else:
+                j += 1
+    return k
+
+
+def subtract_loop(a, b, out) -> int:
+    """Elements of sorted unique ``a`` not in ``b``; returns the count."""
+    na = a.shape[0]
+    nb = b.shape[0]
+    k = 0
+    if nb > na * 32:
+        lo = 0
+        for i in range(na):
+            v = a[i]
+            left = lo
+            right = nb
+            while left < right:
+                mid = (left + right) >> 1
+                if b[mid] < v:
+                    left = mid + 1
+                else:
+                    right = mid
+            lo = left
+            if left >= nb or b[left] != v:
+                out[k] = v
+                k += 1
+    else:
+        j = 0
+        for i in range(na):
+            v = a[i]
+            while j < nb and b[j] < v:
+                j += 1
+            if j >= nb or b[j] != v:
+                out[k] = v
+                k += 1
+    return k
+
+
+def resident_stamp_loop(tags, stamps, num_sets, assoc, first_line, last_line, tick) -> bool:
+    """All-resident probe + LRU stamp of a line span (flat cache arrays).
+
+    Pass 1 verifies every line of ``[first_line, last_line]`` is resident
+    (no state change on failure); pass 2 stamps the hit ways in address
+    order with consecutive ticks — exactly the state a sequential
+    ``Cache.lookup`` sweep would leave.  Returns whether the span was
+    fully resident; the caller advances ``cache._tick`` by the span
+    length on success.
+    """
+    for addr in range(first_line, last_line + 1):
+        base = (addr % num_sets) * assoc
+        hit = False
+        for way in range(assoc):
+            if tags[base + way] == addr:
+                hit = True
+                break
+        if not hit:
+            return False
+    for addr in range(first_line, last_line + 1):
+        base = (addr % num_sets) * assoc
+        for way in range(assoc):
+            if tags[base + way] == addr:
+                stamps[base + way] = tick
+                tick += 1
+                break
+    return True
+
+
+def ema_fold_loop(state, alpha, latency, n) -> None:
+    """Fold ``n`` identical latencies into an EMA window.
+
+    ``state`` is a 2-element float64 buffer: ``state[0]`` the moving
+    average, ``state[1]`` the running latency total.  The loop body is
+    the exact expression of ``PELatencyWindow.record`` — kept as a loop
+    (not a closed form) so the float rounding matches the per-access
+    folds bit for bit.
+    """
+    value = state[0]
+    total = state[1]
+    for _ in range(n):
+        value += alpha * (latency - value)
+        total += latency
+    state[0] = value
+    state[1] = total

@@ -1,0 +1,68 @@
+"""Numba-jitted kernel backend.
+
+JIT-compiles the loop kernels of :mod:`._loops` with ``nopython`` mode.
+Import fails with :class:`BackendUnavailable` when numba is not
+installed; the registry treats that as "fall back to the next backend".
+
+``cache=True`` persists the compiled machine code next to the package,
+so only the first process ever pays the JIT cost; ``fastmath`` stays
+off (the default) so the float kernels keep the exact IEEE semantics
+the pure loops have.
+"""
+
+from __future__ import annotations
+
+from . import _loops
+from .compiled import BackendUnavailable, make_kernel_set
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+except ImportError as exc:  # pragma: no cover - environment dependent
+    njit = None
+    _IMPORT_ERROR = exc
+
+
+class _JittedLib:
+    """Lazily-jitted view of the loop kernels.
+
+    Compilation happens on first call per kernel, not at backend
+    selection, so selecting ``numba`` never stalls a short run on
+    whole-library JIT.
+    """
+
+    def __init__(self) -> None:
+        jit = njit(cache=True, nogil=True)
+        self.intersect_loop = jit(_loops.intersect_loop)
+        self.subtract_loop = jit(_loops.subtract_loop)
+        self.resident_stamp_loop = jit(_loops.resident_stamp_loop)
+        self.ema_fold_loop = jit(_loops.ema_fold_loop)
+
+    def intersect_multi_loop(self, arrays, out, scratch):
+        """Chained pairwise intersections, ping-ponging out/scratch.
+
+        Chaining stays in Python (a handful of jitted pairwise calls);
+        the buffers make it allocation-free.  The final survivor always
+        ends in ``out``; returns its length.
+        """
+        intersect = self.intersect_loop
+        cur = arrays[0]
+        dst, alt = out, scratch
+        k = 0
+        in_out = True
+        for arr in arrays[1:]:
+            k = intersect(cur, arr, dst)
+            if k == 0:
+                return 0
+            cur = dst[:k]
+            in_out = dst is out
+            dst, alt = alt, dst
+        if not in_out:
+            out[:k] = cur
+        return k
+
+
+def make_kernels():
+    """Build the numba kernel set (raises :class:`BackendUnavailable`)."""
+    if njit is None:
+        raise BackendUnavailable(f"numba is not installed: {_IMPORT_ERROR}")
+    return make_kernel_set("numba", _JittedLib())

@@ -96,6 +96,12 @@ class SimConfig:
 
     # --- misc ---------------------------------------------------------------
     max_cycles: int = 2_000_000_000     # runaway guard
+    #: Kernel backend for the simulator hot path: "auto", "pure",
+    #: "numba" or "cext".  None defers to ``REPRO_BACKEND`` / auto
+    #: selection; an unavailable backend falls back gracefully (see
+    #: ``repro.sim.backend``).  All backends produce byte-identical
+    #: metrics, so this is a speed knob, not a model knob.
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
@@ -121,6 +127,15 @@ class SimConfig:
             raise ConfigError("conservative_override must be None, True or False")
         if self.unit_tasks_per_cycle <= 0:
             raise ConfigError("unit_tasks_per_cycle must be positive")
+        if self.backend is not None and self.backend not in (
+            "auto",
+            "pure",
+            "numba",
+            "cext",
+        ):
+            raise ConfigError(
+                "backend must be one of None, 'auto', 'pure', 'numba', 'cext'"
+            )
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "SimConfig":

@@ -12,6 +12,23 @@ common case in the simulator).
 Events a callback schedules for the *current* time land in a fresh
 bucket and drain after the current bucket finishes, which is precisely
 where sequence-numbered heap ordering would have placed them.
+
+Two event shapes share the queue:
+
+* plain callables (:meth:`Engine.at` / :meth:`Engine.after`) — run as
+  ``callback()``;
+* typed events (:meth:`Engine.post`) — ``(owner, payload)`` tuples run
+  as ``owner.dispatch_event(payload)``, with consecutive same-owner
+  runs within a bucket batched into one
+  ``owner.dispatch_events(payloads)`` cohort call.  Task completions
+  use this shape: no closure allocation per task, and whole completion
+  cohorts advance through the PE state vector in one call.
+
+The drain inner loop itself lives in
+:mod:`repro.sim.backend.engine_loop` — it is one of the kernels the
+backend interface names, shared by every backend (each drained event
+runs arbitrary Python, so there is nothing for a compiled backend to
+run without calling straight back into the interpreter).
 """
 
 from __future__ import annotations
@@ -20,6 +37,7 @@ import heapq
 from typing import Callable, Dict, List, Optional
 
 from ..errors import SimulationError
+from .backend.engine_loop import drain as _drain
 
 Callback = Callable[[], None]
 
@@ -31,6 +49,7 @@ class Engine:
         self.now: float = 0.0
         self._times: List[float] = []  # heap of distinct pending timestamps
         self._buckets: Dict[float, List[Callback]] = {}
+        self._pending = 0  # queued events (kept in lockstep with _buckets)
         self._running = False
 
     def at(self, time: float, callback: Callback) -> None:
@@ -45,6 +64,7 @@ class Engine:
             heapq.heappush(self._times, time)
         else:
             bucket.append(callback)
+        self._pending += 1
 
     def after(self, delay: float, callback: Callback) -> None:
         """Schedule ``callback`` ``delay`` cycles from now."""
@@ -57,10 +77,32 @@ class Engine:
             heapq.heappush(self._times, time)
         else:
             bucket.append(callback)
+        self._pending += 1
+
+    def post(self, time: float, owner, payload) -> None:
+        """Schedule a typed event: ``owner.dispatch_event(payload)`` at ``time``.
+
+        Same ordering semantics as :meth:`at`, without allocating a
+        closure — the queue stores the ``(owner, payload)`` tuple and
+        the drain loop dispatches through the owner, late-bound (so
+        instrumentation that replaces ``owner.dispatch_event`` or the
+        underlying completion method still intercepts every event).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self.now}"
+            )
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = [(owner, payload)]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append((owner, payload))
+        self._pending += 1
 
     def pending(self) -> int:
-        """Number of queued events."""
-        return sum(len(bucket) for bucket in self._buckets.values())
+        """Number of queued events (O(1) — a maintained counter)."""
+        return self._pending
 
     def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Drain the queue; returns the number of events executed.
@@ -78,63 +120,8 @@ class Engine:
         its bucket is dropped with it (later timestamps stay queued);
         a simulation never resumes a run that raised.
         """
-        executed = 0
         self._running = True
-        times = self._times
-        buckets = self._buckets
-        heappop = heapq.heappop
         try:
-            if max_events is None:
-                if until is None:
-                    while times:
-                        time = heappop(times)
-                        self.now = time
-                        bucket = buckets.pop(time)
-                        executed += len(bucket)
-                        for callback in bucket:
-                            callback()
-                else:
-                    while times:
-                        time = times[0]
-                        if time > until:
-                            break
-                        heappop(times)
-                        self.now = time
-                        bucket = buckets.pop(time)
-                        executed += len(bucket)
-                        for callback in bucket:
-                            callback()
-            else:
-                heappush = heapq.heappush
-                while times:
-                    time = times[0]
-                    if until is not None and time > until:
-                        break
-                    heappop(times)
-                    self.now = time
-                    bucket = buckets.pop(time)
-                    i = 0
-                    n = len(bucket)
-                    while i < n:
-                        callback = bucket[i]
-                        i += 1
-                        callback()
-                        executed += 1
-                        if executed >= max_events:
-                            break
-                    if i < n:
-                        # Early stop mid-bucket: the unexecuted remainder
-                        # precedes any same-time events just scheduled.
-                        rest = bucket[i:]
-                        fresh = buckets.get(time)
-                        if fresh is None:
-                            buckets[time] = rest
-                            heappush(times, time)
-                        else:
-                            rest.extend(fresh)
-                            buckets[time] = rest
-                    if executed >= max_events:
-                        break
+            return _drain(self, until, max_events)
         finally:
             self._running = False
-        return executed

@@ -21,6 +21,16 @@ from ..errors import ConfigError
 class IUPool:
     """FCFS pool of intersection-unit servers with utilization accounting."""
 
+    __slots__ = (
+        "num_ius",
+        "segment_cycles",
+        "num_dividers",
+        "_server_free",
+        "_max_free",
+        "busy_cycles",
+        "segments_processed",
+    )
+
     def __init__(self, num_ius: int, segment_cycles: float, num_dividers: int) -> None:
         if num_ius < 1 or num_dividers < 1 or segment_cycles <= 0:
             raise ConfigError("IU pool parameters must be positive")
@@ -29,6 +39,7 @@ class IUPool:
         self.num_dividers = num_dividers
         self._server_free: List[float] = [0.0] * num_ius
         heapq.heapify(self._server_free)
+        self._max_free = 0.0
         self.busy_cycles = 0.0
         self.segments_processed = 0
 
@@ -48,20 +59,27 @@ class IUPool:
         fast path writes that final server state directly (a sorted list
         is a valid min-heap); the heap loop remains for the contended
         case and as the oracle in ``tests/test_sim_fu.py``.
+
+        ``_max_free`` caches ``max(_server_free)`` exactly so the common
+        path never scans the pool.  The fast path leaves every server at
+        ``done``/``finish``; the heap path only pops minima, so its new
+        maximum is ``max(old max, finish)`` — if the old maximum was
+        popped, its replacement (and hence ``finish``) exceeds it.
         """
         if segments <= 0:
             return ready_time
         formed = ready_time + segments / self.num_dividers
         servers = self._server_free
         c = self.segment_cycles
-        if max(servers) <= formed:
+        if self._max_free <= formed:
             k = self.num_ius
             q, r = divmod(segments, k)
             if q == 0:
                 # Only the `segments` least-loaded servers are touched.
                 done = formed + c
                 servers.sort()
-                self._server_free = servers[segments:] + [done] * segments
+                del servers[:segments]
+                servers += [done] * segments
                 finish = done
             else:
                 # Chain values by repeated addition, exactly as the
@@ -75,6 +93,7 @@ class IUPool:
                 else:
                     finish = done
                     self._server_free = [done] * k
+            self._max_free = finish
         else:
             finish = formed
             heappop = heapq.heappop
@@ -86,6 +105,8 @@ class IUPool:
                 heappush(servers, done)
                 if done > finish:
                     finish = done
+            if finish > self._max_free:
+                self._max_free = finish
         self.busy_cycles += segments * c
         self.segments_processed += segments
         return finish

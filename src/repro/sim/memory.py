@@ -58,6 +58,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ConfigError, SimulationError
+from . import backend as _backend
 from .config import SimConfig
 from .dram import DRAMModel
 from .noc import NoC
@@ -260,31 +261,27 @@ class Cache:
     def insert_span(self, first_line: int, last_line: int) -> List[int]:
         """Batched :meth:`insert` of a span; returns evicted line addresses.
 
-        Two vectorized fast paths cover the states the simulator actually
-        produces: *all lines already resident* (a pure LRU refresh — the
-        usual writeback to a reused set address) and *all lines new with a
-        free way in every target set* (a first-touch fill).  Anything
-        mixed, or a span wide enough to revisit a set (``n > num_sets``),
-        falls back to the sequential :meth:`insert` walk so eviction
-        interleaving stays exact.
+        Two fast paths cover the states the simulator actually produces:
+        *all lines already resident* (a pure LRU refresh — the usual
+        writeback to a reused set address; handled by the active
+        backend's ``span_resident_stamp`` kernel, order-independent at
+        any width because restamping never evicts) and *all lines new
+        with a free way in every target set* (a first-touch fill).
+        Anything mixed, or a first-touch span wide enough to revisit a
+        set (``n > num_sets``), falls back to the sequential
+        :meth:`insert` walk so eviction interleaving stays exact.
         """
         n = last_line - first_line + 1
         if n <= 0:
             return []
+        if n >= 2 and _backend._active.span_resident_stamp(
+            self, first_line, last_line
+        ):
+            return []
         if 8 <= n <= self.num_sets:
             # Consecutive addresses with n <= num_sets map to distinct
-            # sets, so per-set outcomes are order-independent.  Narrow
-            # spans (the common writeback: a candidate set covering a
-            # line or two) skip straight to the scalar walk — the numpy
-            # probe costs more than a couple of dict inserts.
+            # sets, so per-set outcomes are order-independent.
             sets, hit_ways, mask = self._span_probe(first_line, last_line)
-            if mask.all():
-                slots = sets * self.assoc + hit_ways.argmax(axis=1)
-                self._stamps[slots] = np.arange(
-                    self._tick, self._tick + n, dtype=np.int64
-                )
-                self._tick += n
-                return []
             if not mask.any():
                 fill = self._fill
                 sets_list = sets.tolist()
@@ -471,6 +468,12 @@ class MemorySystem:
 
     def __init__(self, config: SimConfig, num_pes: Optional[int] = None) -> None:
         self.config = config
+        # Kernel backend: config override > REPRO_BACKEND > auto.  The
+        # activation is process-global (setops dispatch follows) and the
+        # bound set is consulted per span, so profiler instrumentation
+        # applies to live instances.
+        self._kernels = _backend.activate(getattr(config, "backend", None))
+        self._ema_scratch = np.zeros(2, dtype=np.float64)
         pes = num_pes if num_pes is not None else config.num_pes
         line = config.cache_line_bytes
         self.l1s = [
@@ -578,13 +581,15 @@ class MemorySystem:
     ) -> float:
         """Span-native :meth:`fetch_intermediate` over ``[first_line, last_line]``.
 
-        The hot path of every task start.  A side-effect-free residency
-        probe picks the all-hit fast path — batch LRU stamping plus a
-        float-only fold of the constant hit latency into the PE's window,
-        with the batch completion time computed from the last line's
-        issue slot (latencies are constant, so the last finish is the
-        max) — and any miss falls back to the exact per-line walk.  Both
-        paths reproduce the sequence entry point bit-for-bit.
+        The hot path of every task start.  The active backend's
+        ``span_resident_stamp`` kernel picks the all-hit fast path —
+        residency probe plus batch LRU stamping, then a float-only fold
+        of the constant hit latency into the PE's window (the backend's
+        ``ema_fold`` kernel), with the batch completion time computed
+        from the last line's issue slot (latencies are constant, so the
+        last finish is the max) — and any miss falls back to the exact
+        per-line walk.  Both paths reproduce the sequence entry point
+        bit-for-bit under every backend.
         """
         l1 = self.l1s[pe_id]
         if last_line == first_line:
@@ -607,60 +612,20 @@ class MemorySystem:
                 window.samples += 1
             finish = (now + 0) + l1_hit
             return finish if finish > now else now
-        n = last_line - first_line + 1
-        tick = l1._tick
-        if n >= 64:
-            # Very wide span: vectorized residency probe over the tags.
-            sets, hit_ways, mask = l1._span_probe(first_line, last_line)
-            if not mask.all():
-                # Miss somewhere in the span (rare): the probe changed
-                # nothing, so the sequential walk replays from scratch.
-                return self._fetch_intermediate_walk(
-                    pe_id, range(first_line, last_line + 1), now, record_window
-                )
-            l1._stamps[sets * l1.assoc + hit_ways.argmax(axis=1)] = np.arange(
-                tick, tick + n, dtype=np.int64
+        if not self._kernels.span_resident_stamp(l1, first_line, last_line):
+            # Miss somewhere in the span (rare): the probe changed
+            # nothing, so the sequential walk replays from scratch.
+            return self._fetch_intermediate_walk(
+                pe_id, range(first_line, last_line + 1), now, record_window
             )
-            l1._tick = tick + n
-        elif n >= 8:
-            where_get = l1._where.get
-            slots = [where_get(addr) for addr in range(first_line, last_line + 1)]
-            if None in slots:
-                return self._fetch_intermediate_walk(
-                    pe_id, range(first_line, last_line + 1), now, record_window
-                )
-            l1._stamps[slots] = np.arange(tick, tick + n, dtype=np.int64)
-            l1._tick = tick + n
-        else:
-            where_get = l1._where.get
-            slots = []
-            append = slots.append
-            for addr in range(first_line, last_line + 1):
-                slot = where_get(addr)
-                if slot is None:
-                    return self._fetch_intermediate_walk(
-                        pe_id, range(first_line, last_line + 1), now, record_window
-                    )
-                append(slot)
-            stamps = l1._stamps
-            for slot in slots:
-                stamps[slot] = tick
-                tick += 1
-            l1._tick = tick
+        n = last_line - first_line + 1
         l1.hits += n
         self.intermediate_line_fetches += n
         l1_hit = self._l1_hit_cycles_f
         if record_window:
-            window = self.l1_windows[pe_id]
-            alpha = window.alpha
-            value = window.value
-            total = window.total_latency
-            for _ in range(n):
-                value += alpha * (l1_hit - value)
-                total += l1_hit
-            window.value = value
-            window.total_latency = total
-            window.samples += n
+            self._kernels.ema_fold(
+                self.l1_windows[pe_id], l1_hit, n, self._ema_scratch
+            )
         finish = (now + (n - 1) // self._fetch_ports) + l1_hit
         return finish if finish > now else now
 
@@ -785,6 +750,7 @@ class MemorySystem:
         l2_service = self._l2_service_cycles
         hop = self._hop_cycles
         stream_ok = self._l2_stream_ok
+        resident_stamp = self._kernels.span_resident_stamp
         done = now
         i = 0
         for first_line, last_line in spans:
@@ -811,44 +777,15 @@ class MemorySystem:
                 n = 1
                 resident = False
             else:
+                # Multi-line span: the backend's residency/stamp kernel
+                # (stamps land in address order with consecutive ticks,
+                # same as the scalar sweep).  The hoisted tick shadow is
+                # synced around the call — the kernel reads and advances
+                # ``l2._tick`` itself.
                 n = last_line - first_line + 1
-                resident = True
-                if n < 8:
-                    slots = []
-                    append = slots.append
-                    for addr in range(first_line, last_line + 1):
-                        slot = where_get(addr)
-                        if slot is None:
-                            resident = False
-                            break
-                        append(slot)
-                    if resident:
-                        for slot in slots:
-                            stamps[slot] = tick
-                            tick += 1
-                elif n < 64:
-                    slots = [
-                        where_get(addr)
-                        for addr in range(first_line, last_line + 1)
-                    ]
-                    if None in slots:
-                        resident = False
-                    else:
-                        stamps[slots] = np.arange(tick, tick + n, dtype=np.int64)
-                        tick += n
-                else:
-                    # Very wide span: vectorized residency probe + batch
-                    # stamping over the tag arrays (stamps land in address
-                    # order with consecutive ticks, same as the scalar
-                    # sweep).
-                    sets, hit_ways, mask = l2._span_probe(first_line, last_line)
-                    if mask.all():
-                        stamps[sets * l2.assoc + hit_ways.argmax(axis=1)] = np.arange(
-                            tick, tick + n, dtype=np.int64
-                        )
-                        tick += n
-                    else:
-                        resident = False
+                l2._tick = tick
+                resident = resident_stamp(l2, first_line, last_line)
+                tick = l2._tick
             if resident:
                 # All-hit span: book the banks with float-only arithmetic
                 # (same expressions as the per-line walk; only the cache

@@ -14,11 +14,20 @@ The simulator books all stage times analytically when the task starts:
 every shared resource (pipeline units, L2 port, DRAM channels, IU
 servers) is a booked-until-time model, so contention is preserved while
 each task costs only two events.
+
+Mutable PE state lives in a :class:`PEStateVector` — parallel arrays
+indexed by ``pe_id``, shared by all PEs of one accelerator — rather
+than per-instance attributes.  Task completions arrive as typed engine
+events (:meth:`Engine.post`): the drain loop batches a run of
+same-cycle completions on one PE into a single
+:meth:`PE.dispatch_events` call, which advances the whole cohort
+through the state-vector row in one pass instead of one closure
+callback per task.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from ..core.task import SimTask, TaskState
 from ..core.tokens import SetBufferMap
@@ -35,6 +44,57 @@ PolicyFactory = Callable[["PE"], "SchedulingPolicy"]
 # Enum members resolved once (descriptor lookups add up on the per-task path).
 _EXECUTING = TaskState.EXECUTING
 _COMPLETE = TaskState.COMPLETE
+
+
+class PEStateVector:
+    """Struct-of-arrays mutable state for all PEs of one accelerator.
+
+    One row per PE: pipeline-unit free times, slot occupancy, task and
+    match counters, and the busy/idle slot integrals live in parallel
+    arrays indexed by ``pe_id`` instead of per-PE instance attributes.
+    The cohort completion path (:meth:`PE.dispatch_events`) folds a
+    whole run of same-cycle completions into one pass over a row, and
+    metrics collection aggregates straight off the columns.  ``PE``
+    exposes its row through properties so external readers and writers
+    (invariant checkers, tests) keep the familiar per-PE view.
+    """
+
+    __slots__ = (
+        "num_pes",
+        "decode_free",
+        "dispatch_free",
+        "issue_free",
+        "spawn_free",
+        "slots_used",
+        "tasks_executed",
+        "matches",
+        "multi_round_tasks",
+        "finish_cycle",
+        "last_integrate",
+        "busy_slot_cycles",
+        "idle_with_work_cycles",
+        "depth_executed",
+    )
+
+    def __init__(self, num_pes: int, depth: int) -> None:
+        self.num_pes = num_pes
+        # Pipeline units: one task entry per cycle each.
+        self.decode_free = [0.0] * num_pes
+        self.dispatch_free = [0.0] * num_pes
+        self.issue_free = [0.0] * num_pes
+        self.spawn_free = [0.0] * num_pes
+        self.slots_used = [0] * num_pes
+        self.tasks_executed = [0] * num_pes
+        self.matches = [0] * num_pes
+        # Tasks whose working set exceeded the SPM share (ran >1 round).
+        # Diagnostic only — not part of RunMetrics.
+        self.multi_round_tasks = [0] * num_pes
+        self.finish_cycle = [0.0] * num_pes
+        # Slot-occupancy integrals.
+        self.last_integrate = [0.0] * num_pes
+        self.busy_slot_cycles = [0.0] * num_pes
+        self.idle_with_work_cycles = [0.0] * num_pes
+        self.depth_executed = [[0] * depth for _ in range(num_pes)]
 
 
 class PE:
@@ -67,13 +127,14 @@ class PE:
         # the fetch/compute stages in multiple rounds.
         self.spm_share = max(4, self.config.spm_lines // self.config.execution_width)
 
-        # Pipeline units: one task entry per cycle each.
-        self._unit_free: Dict[str, float] = {
-            "decode": 0.0,
-            "dispatch": 0.0,
-            "issue": 0.0,
-            "spawn": 0.0,
-        }
+        state = getattr(accel, "pe_state", None)
+        if state is None or pe_id >= state.num_pes:
+            # Stand-alone construction (unit tests with a stub accel):
+            # a private vector holding just this PE's row.
+            state = PEStateVector(pe_id + 1, self.schedule.depth)
+        self._state = state
+        self._row = pe_id
+
         # Hot-path constants (attribute chains hoisted out of the
         # per-task booking loop).
         self._unit_interval = 1.0 / self.config.unit_tasks_per_cycle
@@ -87,20 +148,7 @@ class PE:
             self.schedule.depth + 1
         )
 
-        self.slots_used = 0
-        self.tasks_executed = 0
-        # Tasks whose working set exceeded the SPM share (ran >1 round).
-        # Diagnostic only — not part of RunMetrics.
-        self.multi_round_tasks = 0
-        self.depth_executed: List[int] = [0] * self.schedule.depth
-        self.matches = 0
-        self.finish_cycle = 0.0
         self._kick_pending = False
-
-        # Slot-occupancy integrals.
-        self._last_integrate = 0.0
-        self._busy_slot_cycles = 0.0
-        self._idle_with_work_cycles = 0.0
 
         # Windowed IU utilization for the locality monitor.
         self._iu_win_start = 0.0
@@ -110,19 +158,80 @@ class PE:
         self.policy: "SchedulingPolicy" = policy_factory(self)
 
     # ------------------------------------------------------------------
+    # state-vector row views (external readers/writers: invariants,
+    # traces, metrics collection, tests).  Hot paths below index the
+    # shared arrays directly instead of going through these.
+    # ------------------------------------------------------------------
+    @property
+    def slots_used(self) -> int:
+        return self._state.slots_used[self._row]
+
+    @slots_used.setter
+    def slots_used(self, value: int) -> None:
+        self._state.slots_used[self._row] = value
+
+    @property
+    def tasks_executed(self) -> int:
+        return self._state.tasks_executed[self._row]
+
+    @tasks_executed.setter
+    def tasks_executed(self, value: int) -> None:
+        self._state.tasks_executed[self._row] = value
+
+    @property
+    def matches(self) -> int:
+        return self._state.matches[self._row]
+
+    @matches.setter
+    def matches(self, value: int) -> None:
+        self._state.matches[self._row] = value
+
+    @property
+    def multi_round_tasks(self) -> int:
+        return self._state.multi_round_tasks[self._row]
+
+    @multi_round_tasks.setter
+    def multi_round_tasks(self, value: int) -> None:
+        self._state.multi_round_tasks[self._row] = value
+
+    @property
+    def finish_cycle(self) -> float:
+        return self._state.finish_cycle[self._row]
+
+    @finish_cycle.setter
+    def finish_cycle(self, value: float) -> None:
+        self._state.finish_cycle[self._row] = value
+
+    @property
+    def depth_executed(self) -> List[int]:
+        """This PE's per-depth task counts (a live row of the vector)."""
+        return self._state.depth_executed[self._row]
+
+    @property
+    def _busy_slot_cycles(self) -> float:
+        return self._state.busy_slot_cycles[self._row]
+
+    @property
+    def _idle_with_work_cycles(self) -> float:
+        return self._state.idle_with_work_cycles[self._row]
+
+    # ------------------------------------------------------------------
     # accounting helpers
     # ------------------------------------------------------------------
     def _integrate(self) -> None:
         now = self.engine.now
-        dt = now - self._last_integrate
+        state = self._state
+        row = self._row
+        dt = now - state.last_integrate[row]
         if dt <= 0:
             return
-        self._busy_slot_cycles += self.slots_used * dt
+        used = state.slots_used[row]
+        state.busy_slot_cycles[row] += used * dt
         if self.policy.has_work():
-            idle_slots = self.config.execution_width - self.slots_used
+            idle_slots = self.config.execution_width - used
             if idle_slots > 0:
-                self._idle_with_work_cycles += idle_slots * dt
-        self._last_integrate = now
+                state.idle_with_work_cycles[row] += idle_slots * dt
+        state.last_integrate[row] = now
 
     def recent_iu_utilization(self) -> float:
         """IU utilization over the last completed monitor epoch."""
@@ -146,7 +255,7 @@ class PE:
 
     def on_tree_finished(self) -> None:
         """Policy callback: one assigned search tree fully explored."""
-        self.finish_cycle = self.engine.now
+        self._state.finish_cycle[self._row] = self.engine.now
         self.kick()
 
     # ------------------------------------------------------------------
@@ -161,13 +270,16 @@ class PE:
 
     def _dispatch(self) -> None:
         self._kick_pending = False
+        state = self._state
+        row = self._row
         # Guarded call: a completion at this cycle already integrated.
-        if self.engine.now > self._last_integrate:
+        if self.engine.now > state.last_integrate[row]:
             self._integrate()
         self.accel.feed_roots(self)
         width = self.config.execution_width
         select_task = self.policy.select_task
-        while self.slots_used < width:
+        slots = state.slots_used
+        while slots[row] < width:
             task = select_task()
             if task is None:
                 break
@@ -175,9 +287,10 @@ class PE:
         self.accel.check_done()
 
     def _enter_unit(self, name: str, at: float) -> float:
-        free = self._unit_free[name]
+        free_times = getattr(self._state, name + "_free")
+        free = free_times[self._row]
         start = at if at >= free else free
-        self._unit_free[name] = start + self._unit_interval
+        free_times[self._row] = start + self._unit_interval
         return start
 
     # ------------------------------------------------------------------
@@ -185,24 +298,25 @@ class PE:
     # ------------------------------------------------------------------
     def _start_task(self, task: SimTask) -> None:
         now = self.engine.now
+        state = self._state
+        row = self._row
         # Guarded call: the dispatch pass at this cycle already integrated.
-        if now > self._last_integrate:
+        if now > state.last_integrate[row]:
             self._integrate()
-        self.slots_used += 1
+        state.slots_used[row] += 1
         task.state = _EXECUTING
         config = self.config
-        unit_free = self._unit_free
         interval = self._unit_interval
         memory = self.memory
-        engine_at = self.engine.at
+        engine_post = self.engine.post
 
-        free = unit_free["decode"]
+        free = state.decode_free[row]
         start = now if now >= free else free
-        unit_free["decode"] = start + interval
+        state.decode_free[row] = start + interval
         t = start + config.decode_cycles
-        free = unit_free["dispatch"]
+        free = state.dispatch_free[row]
         start = t if t >= free else free
-        unit_free["dispatch"] = start + interval
+        state.dispatch_free[row] = start + interval
         t = start + config.dispatch_cycles
 
         # Fetching this task's vertex touched one line of the parent's
@@ -215,12 +329,12 @@ class PE:
 
         if task.depth >= self._max_depth:
             # Leaf task: report the match, no set operation.
-            free = unit_free["spawn"]
+            free = state.spawn_free[row]
             at = t + config.leaf_cycles
             start = at if at >= free else free
-            unit_free["spawn"] = start + interval
+            state.spawn_free[row] = start + interval
             t = start + self._post_spawn_cycles
-            engine_at(t, lambda: self._complete_task(task))
+            engine_post(t, self, task)
             return
 
         # Ancestor sets inline (see _ancestor_sets): parent is at hand.
@@ -263,12 +377,12 @@ class PE:
             )
             t_graph = memory.fetch_graph_spans(self.pe_id, graph_spans, t) if graph_spans else t
             ready = t_inter if t_inter >= t_graph else t_graph
-            free = unit_free["issue"]
+            free = state.issue_free[row]
             start = ready if ready >= free else free
-            unit_free["issue"] = start + interval
+            state.issue_free[row] = start + interval
             t = self._iu_submit(segments, start + 1.0)
         else:
-            self.multi_round_tasks += 1
+            state.multi_round_tasks[row] += 1
             rounds = -(-total_lines // self.spm_share)
             for r in range(rounds):
                 ichunk = (
@@ -289,11 +403,11 @@ class PE:
             memory.install_intermediate_span(self.pe_id, out_first, out_last)
             wb = out_count / config.fetch_ports
             t += wb if wb > 1.0 else 1.0
-        free = unit_free["spawn"]
+        free = state.spawn_free[row]
         start = t if t >= free else free
-        unit_free["spawn"] = start + interval
+        state.spawn_free[row] = start + interval
         t = start + self._post_spawn_cycles
-        engine_at(t, lambda: self._complete_task(task))
+        engine_post(t, self, task)
 
     def _ancestor_sets(self, task: SimTask) -> List[Optional[object]]:
         """Materialized candidate sets along this task's ancestor path.
@@ -372,19 +486,85 @@ class PE:
                 count += l - f + 1
         return spans, count
 
+    # ------------------------------------------------------------------
+    # completion (typed-event sinks for Engine.post)
+    # ------------------------------------------------------------------
+    def dispatch_event(self, task: SimTask) -> None:
+        """One posted completion (late-bound: instrumented PEs that
+        replace ``_complete_task`` intercept every event)."""
+        self._complete_task(task)
+
+    def dispatch_events(self, tasks: List[SimTask]) -> None:
+        """A cohort of same-cycle completions on this PE, in FIFO order.
+
+        Equivalent by construction to dispatching each task singly; the
+        batched path only folds the counter updates into one pass over
+        the state-vector row.  Instrumented PEs (invariant checker,
+        trace recorder — they install ``_complete_task`` as an instance
+        attribute) fall back to per-task dispatch so their hooks see
+        every completion.
+        """
+        if "_complete_task" in self.__dict__:
+            complete = self._complete_task
+            for task in tasks:
+                complete(task)
+            return
+        self._complete_cohort(tasks)
+
     def _complete_task(self, task: SimTask) -> None:
         self._integrate()
         task.state = _COMPLETE
-        self.tasks_executed += 1
-        self.depth_executed[task.depth] += 1
+        state = self._state
+        row = self._row
+        state.tasks_executed[row] += 1
+        state.depth_executed[row][task.depth] += 1
         if task.depth >= self._max_depth:
-            self.matches += 1
+            state.matches[row] += 1
             task.children_vertices = []
         else:
             task.children_vertices = self.context.children(
                 task.embedding, task.expansion.candidates
             )
             self.footprint_add(len(task.expansion.candidates) * 4)
-        self.slots_used -= 1
+        state.slots_used[row] -= 1
         self.policy.on_task_complete(task)
         self.kick()
+
+    def _complete_cohort(self, tasks: List[SimTask]) -> None:
+        """Complete a cohort in one pass over the state-vector row.
+
+        Per-task side effects that other components observe mid-cohort
+        — candidate-set materialization (footprint accounting), policy
+        completion hooks and the dispatch kick — stay interleaved in
+        FIFO order exactly as the per-task path runs them; only the
+        pure counter updates (tasks/matches/depth/slots) batch into
+        single row writes.  ``kick`` is idempotent within a cycle, so
+        the repeated calls preserve event ordering without cost.
+        """
+        self._integrate()
+        state = self._state
+        row = self._row
+        depth_row = state.depth_executed[row]
+        max_depth = self._max_depth
+        children = self.context.children
+        footprint_add = self.accel.footprint_add
+        on_task_complete = self.policy.on_task_complete
+        kick = self.kick
+        matches = 0
+        for task in tasks:
+            task.state = _COMPLETE
+            depth = task.depth
+            depth_row[depth] += 1
+            if depth >= max_depth:
+                matches += 1
+                task.children_vertices = []
+            else:
+                candidates = task.expansion.candidates
+                task.children_vertices = children(task.embedding, candidates)
+                footprint_add(len(candidates) * 4)
+            on_task_complete(task)
+            kick()
+        n = len(tasks)
+        state.tasks_executed[row] += n
+        state.matches[row] += matches
+        state.slots_used[row] -= n

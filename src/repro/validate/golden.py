@@ -66,7 +66,13 @@ def snapshot_path(
 
 
 def _config_dict(config: SimConfig) -> Dict[str, object]:
-    return dataclasses.asdict(config)
+    out = dataclasses.asdict(config)
+    # The kernel backend is a speed knob, not a model knob: every backend
+    # produces byte-identical metrics (enforced by the parity tests), so
+    # goldens are backend-independent by construction and recording the
+    # selection would only manufacture spurious config drift.
+    out.pop("backend", None)
+    return out
 
 
 def make_snapshot(
