@@ -19,6 +19,8 @@ Usage (also via ``python -m repro``)::
     repro submit --dataset wi --pattern tc --policy shogun --watch
     repro jobs                                      # daemon job board
     repro shutdown                                  # drain and stop the daemon
+    repro experiment figure3a --workers unix:/tmp/sweep.sock --spawn-workers 2
+    repro worker unix:/tmp/sweep.sock               # join a distributed sweep
 
 ``repro experiment`` routes through :mod:`repro.orchestrator`: cells
 are deduplicated, satisfied from ``.repro-cache/`` when possible, and
@@ -130,6 +132,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines"
+    )
+    experiment.add_argument(
+        "--workers", default=None, metavar="ADDR",
+        help="distributed mode: listen on ADDR (unix:/path, tcp:host:port "
+             "or a socket path) and execute cells on registered workers "
+             "(see docs/distributed.md)",
+    )
+    experiment.add_argument(
+        "--spawn-workers", type=int, default=0, metavar="N",
+        help="with --workers: also spawn N local worker subprocesses",
+    )
+    experiment.add_argument(
+        "--worker-slots", type=int, default=1,
+        help="with --spawn-workers: concurrent cells per spawned worker",
+    )
+    experiment.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        help="with --workers: seconds between worker heartbeats",
+    )
+    experiment.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0,
+        help="with --workers: heartbeat silence before a worker is "
+             "declared dead and its cells retried elsewhere",
+    )
+    experiment.add_argument(
+        "--register-timeout", type=float, default=120.0,
+        help="with --workers: seconds to tolerate having no live worker "
+             "before failing the remaining cells",
+    )
+    experiment.add_argument(
+        "--spawn-faults", default=None, metavar="SPEC",
+        help="with --spawn-workers: REPRO_FAULTS spec injected into the "
+             "first spawned worker (chaos testing, e.g. kill:cell:1)",
     )
 
     validate = sub.add_parser(
@@ -253,6 +288,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--log", default=None, metavar="PATH",
         help="also append server events to this file (always on stderr)",
     )
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a distributed sweep worker against a scheduler "
+             "(see docs/distributed.md)",
+    )
+    worker.add_argument(
+        "address",
+        help="scheduler address: unix:/path, tcp:host:port, or a socket path",
+    )
+    worker.add_argument(
+        "--name", default=None, help="worker name (default: worker-<pid>)"
+    )
+    worker.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent cells this worker executes (default 1)",
+    )
+    worker.add_argument(
+        "--connect-timeout", type=float, default=30.0,
+        help="seconds to keep retrying the scheduler connection",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress worker log lines"
+    )
+    _add_backend_arg(worker)
 
     submit = sub.add_parser(
         "submit", help="submit one cell to a running daemon"
@@ -511,13 +571,30 @@ def cmd_experiment(args) -> int:
     if not args.no_cache and cache_enabled():
         cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
-    orchestrator = Orchestrator(
-        jobs=args.jobs,
-        cache=cache,
-        timeout=args.timeout,
-        retries=args.retries,
-        progress=progress,
-    )
+    if args.workers:
+        from .distributed import DistributedOrchestrator
+
+        orchestrator = DistributedOrchestrator(
+            args.workers,
+            spawn_workers=args.spawn_workers,
+            worker_slots=args.worker_slots,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            register_timeout=args.register_timeout,
+            spawn_faults=args.spawn_faults,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=progress,
+        )
+    else:
+        orchestrator = Orchestrator(
+            jobs=args.jobs,
+            cache=cache,
+            timeout=args.timeout,
+            retries=args.retries,
+            progress=progress,
+        )
     run = orchestrator.run_experiments(args.names, scale=_resolve_scale(args))
     for name in args.names:
         if name in run.rendered:
@@ -727,6 +804,22 @@ def cmd_submit(args) -> int:
     return 1
 
 
+def cmd_worker(args) -> int:
+    from .distributed import run_worker
+
+    _apply_backend(args)
+    log = None
+    if args.quiet:
+        log = lambda line: None  # noqa: E731 - explicit no-op sink
+    return run_worker(
+        args.address,
+        name=args.name,
+        slots=args.slots,
+        connect_timeout=args.connect_timeout,
+        log=log,
+    )
+
+
 def cmd_jobs(args) -> int:
     from .service import call
 
@@ -800,6 +893,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": cmd_experiment,
         "validate": cmd_validate,
         "serve": cmd_serve,
+        "worker": cmd_worker,
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "shutdown": cmd_shutdown,

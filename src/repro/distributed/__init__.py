@@ -1,0 +1,60 @@
+"""Distributed sweep execution: scheduler/worker over the service stack.
+
+The multi-host generalization of the batch orchestrator (see
+docs/distributed.md):
+
+* :mod:`~repro.distributed.protocol` — worker lifecycle states and the
+  register/heartbeat/pull/result message schema (NDJSON over the
+  :mod:`repro.service.transports`);
+* :mod:`~repro.distributed.board` — the deterministic scheduling state
+  machine: locality-aware placement, work stealing, heartbeat expiry,
+  failure-domain retries, first-result-wins dedup;
+* :mod:`~repro.distributed.scheduler` — the asyncio scheduler server
+  and the :class:`DistributedOrchestrator` behind ``repro experiment
+  --workers ADDR``;
+* :mod:`~repro.distributed.worker` — the worker agent, the ``repro
+  worker`` entry point, and local worker spawning (chaos victims
+  included).
+
+Fault injection for the chaos suite lives in
+:mod:`repro.service.faults`.
+"""
+
+from .board import CellBoard, DeathReport, WorkerEntry
+from .protocol import (
+    BUSY,
+    DEAD,
+    DRAINING,
+    IDLE,
+    JOINING,
+    LIVE_STATES,
+    SUSPECT,
+    WORKER_STATES,
+)
+from .scheduler import DistributedOrchestrator, DistributedScheduler
+from .worker import (
+    WorkerAgent,
+    run_worker,
+    spawn_local_workers,
+    terminate_workers,
+)
+
+__all__ = [
+    "BUSY",
+    "CellBoard",
+    "DEAD",
+    "DRAINING",
+    "DeathReport",
+    "DistributedOrchestrator",
+    "DistributedScheduler",
+    "IDLE",
+    "JOINING",
+    "LIVE_STATES",
+    "SUSPECT",
+    "WORKER_STATES",
+    "WorkerAgent",
+    "WorkerEntry",
+    "run_worker",
+    "spawn_local_workers",
+    "terminate_workers",
+]

@@ -1,0 +1,80 @@
+"""Wire protocol of the distributed sweep: worker lifecycle + messages.
+
+The distributed scheduler speaks the same NDJSON framing, transports
+and reply shapes as ``repro serve`` (:mod:`repro.service.protocol`) —
+one JSON object per line, client-chosen ``id`` echoed on every reply so
+requests multiplex over one connection.  What is new here is the
+*worker* side of the conversation and its lifecycle.
+
+Requests (worker → scheduler)
+-----------------------------
+``register``
+    ``{"op": "register", "id": ..., "name": ..., "pid": ..., "slots": N}``.
+    Replies ``{"ok": true, "worker": <worker-id>, "heartbeat_interval":
+    S, "timeout": S | null, "protocol": 1}``.  The scheduler owns the
+    heartbeat cadence and the per-cell timeout; workers adopt both.
+``heartbeat``
+    ``{"op": "heartbeat", "id": ..., "worker": ...}``.  Replies
+    ``{"ok": true, "live": bool}`` — ``live`` false means the scheduler
+    already declared this worker dead (its cells were reclaimed); the
+    worker should finish what it is running and drain.  **Only this
+    message refreshes liveness**: a worker whose heartbeats stop is
+    declared dead even if it keeps pulling, so a wedged heartbeat task
+    cannot hide behind an otherwise busy connection.
+``pull``
+    ``{"op": "pull", "id": ..., "worker": ...}``.  One of three
+    replies: ``{"ok": true, "key": ..., "cell": <cell>}`` (run this
+    cell — ``<cell>`` is the full :func:`~repro.service.protocol.cell_to_wire`
+    payload), ``{"ok": true, "wait": true}`` (nothing assignable right
+    now, poll again), or ``{"ok": true, "drain": true}`` (the sweep is
+    complete or this worker is dead to the scheduler — exit).
+``result``
+    ``{"op": "result", "id": ..., "worker": ..., "key": ...,
+    "metrics": <RunMetrics dict> | null, "error": <report> | null,
+    "seconds": S, "record": {...}}``.  Replies ``{"ok": true,
+    "status": "recorded" | "retry" | "failed" | "duplicate"}`` —
+    ``duplicate`` means another attempt of the cell already resolved it
+    (first result wins; the late result is discarded, never double
+    counted).
+``ping`` / ``stats``
+    Liveness probe and scheduler counters, as in the serve protocol.
+
+Worker lifecycle
+----------------
+Scheduler-side view of one worker::
+
+    joining -> idle <-> busy
+                 |        |
+                 v        v
+              suspect (heartbeat overdue, still scheduled)
+                 |
+                 v
+       draining (told to exit)     dead (expired / disconnected / killed)
+
+``dead`` is terminal: the worker's queued cells are reclaimed for other
+workers immediately, and each *running* cell is retried elsewhere with
+its failure domain (the dead worker's identity) recorded — or, if it
+has now died with too many workers, failed with a structured
+``WorkerLost`` report listing every domain it took down.
+"""
+
+from __future__ import annotations
+
+# Worker lifecycle states (scheduler-side).
+JOINING = "joining"
+IDLE = "idle"
+BUSY = "busy"
+SUSPECT = "suspect"
+DRAINING = "draining"
+DEAD = "dead"
+
+#: Every worker state, in lifecycle order.
+WORKER_STATES = (JOINING, IDLE, BUSY, SUSPECT, DRAINING, DEAD)
+
+#: States in which a worker can still be assigned (or keep) cells.
+LIVE_STATES = frozenset({JOINING, IDLE, BUSY, SUSPECT})
+
+#: Operations a worker may send.
+WORKER_OPS = ("register", "heartbeat", "pull", "result", "ping", "stats")
+
+SCHEDULER_NAME = "repro-dist-scheduler"

@@ -526,6 +526,22 @@ def resolve_graph(
     return graph, source, time.perf_counter() - start
 
 
+def live_segment_names() -> "set[str]":
+    """Names of every live ``repro-arena-*`` segment on this host.
+
+    The shm-hygiene invariant — no sweep, daemon, worker death or chaos
+    scenario may leave a segment behind — is asserted against this by
+    the test suites and mirrors the CI jobs' ``ls /dev/shm`` check.
+    """
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith(_SHM_PREFIX)
+        }
+    except OSError:  # no /dev/shm on this platform
+        return set()
+
+
 def _reset_local() -> None:
     """Drop this process's attachments (tests only)."""
     _HANDLES.clear()

@@ -81,6 +81,22 @@ class CellSpec:
         }
 
 
+def group_key(spec: CellSpec) -> "tuple[str, str, float]":
+    """Placement group of one cell: ``(dataset, pattern, scale)``.
+
+    Cells in one group share a staged graph *and* a mined reference
+    count, so a worker that runs the whole group materializes both
+    exactly once.  The batch scheduler's per-process grouping and the
+    distributed scheduler's locality-aware placement both key on this.
+    """
+    return (spec.dataset, spec.pattern, float(spec.scale))
+
+
+def graph_key(spec: CellSpec) -> "tuple[str, float]":
+    """The staged-graph identity of one cell: ``(dataset, scale)``."""
+    return (spec.dataset, float(spec.scale))
+
+
 @lru_cache(maxsize=1)
 def code_salt() -> str:
     """Digest of the simulation-defining source (or ``REPRO_CACHE_SALT``)."""

@@ -111,6 +111,8 @@ class PersistentCellExecutor:
         self._handles: Dict[Tuple[str, float], ArenaHandle] = {}
         self._staged: Dict[Tuple[str, float], dict] = {}
         self._closed = False
+        self._close_done = threading.Event()
+        self._close_owner: Optional[int] = None
         #: Real simulations dispatched (coalescing tests read this).
         self.executions = 0
 
@@ -262,23 +264,50 @@ class PersistentCellExecutor:
         return metrics, error, seconds, worker
 
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self, *, cancel: bool = True) -> None:
-        """Shut the pool down and unlink every arena segment (idempotent)."""
+        """Shut the pool down and unlink every arena segment.
+
+        Idempotent *and* convergent: exactly one invocation performs
+        the teardown, and every other invocation — a drain path and a
+        ``finally`` block closing concurrently, a second close from
+        another thread — blocks until that teardown has finished, so no
+        caller can observe a "closed" executor whose shm segments are
+        still linked.  A re-entrant call from the closing thread itself
+        (a ``finally`` on the same stack as the failing close) returns
+        immediately instead of deadlocking on its own completion.
+        """
         with self._lock:
             if self._closed:
-                return
-            self._closed = True
-            pool, self._pool = self._pool, None
-            arena, self._arena = self._arena, None
-            self._handles = {}
+                if self._close_owner == threading.get_ident():
+                    return  # re-entrant from the closing thread's own stack
+                wait_for_owner = True
+            else:
+                self._closed = True
+                self._close_owner = threading.get_ident()
+                wait_for_owner = False
+                pool, self._pool = self._pool, None
+                arena, self._arena = self._arena, None
+                self._handles = {}
+                self._staged = {}
+        if wait_for_owner:
+            self._close_done.wait()
+            return
         try:
             if pool is not None:
                 pool.shutdown(wait=not cancel, cancel_futures=cancel)
         finally:
             # Segments must never outlive the executor, whatever the
-            # pool teardown did.
-            if arena is not None:
-                arena.close()
+            # pool teardown did — and waiters are only released once
+            # the unlink has actually happened.
+            try:
+                if arena is not None:
+                    arena.close()
+            finally:
+                self._close_done.set()
 
     def __enter__(self) -> "PersistentCellExecutor":
         return self

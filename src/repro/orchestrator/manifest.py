@@ -61,6 +61,11 @@ class RunManifest:
     #: waves ran: how the parent materialized it, how long that took,
     #: and the shared-memory segment name when the arena was used.
     staging: List[Dict[str, object]] = field(default_factory=list)
+    #: Distributed runs only: one record per worker that registered —
+    #: name, pid, lifecycle outcome (``drained`` / ``dead``), cells
+    #: completed, and the death cause for workers that did not survive.
+    #: Empty for serial/pool runs, so their manifests are unchanged.
+    workers: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +122,17 @@ class RunManifest:
                 f"staged {len(self.staging)} graph(s), {staged} in shared "
                 f"memory — {sources}"
             )
+        if self.workers:
+            survived = sum(1 for w in self.workers if w.get("state") != "dead")
+            roster = ", ".join(
+                f"{w.get('name', '?')}:{w.get('completed', 0)} cells"
+                + (f" ({w.get('cause')})" if w.get("state") == "dead" else "")
+                for w in self.workers
+            )
+            lines.append(
+                f"workers: {len(self.workers)} registered, {survived} "
+                f"survived — {roster}"
+            )
         for cell in self.failures():
             error = cell.error or {}
             where = ""
@@ -125,6 +141,8 @@ class RunManifest:
                     f" [pid {cell.worker.get('pid', '?')}, dataset via "
                     f"{cell.worker.get('dataset_source', '?')}]"
                 )
+            if cell.error and cell.error.get("domains"):
+                where += f" [failure domains: {', '.join(cell.error['domains'])}]"
             lines.append(
                 f"FAILED {cell.label} after {cell.attempts} attempt(s){where}: "
                 f"{error.get('type', 'Error')}: {error.get('message', '')}"
@@ -146,6 +164,7 @@ class RunManifest:
                 "failed": self.failed,
             },
             "staging": [dict(s) for s in self.staging],
+            "workers": [dict(w) for w in self.workers],
             "cells": [asdict(c) for c in self.cells],
             "experiments": [asdict(e) for e in self.experiments],
         }

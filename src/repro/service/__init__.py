@@ -14,10 +14,14 @@ The serving front end over the orchestrator (see docs/service.md):
   shutdown;
 * :mod:`~repro.service.client` — the async client plus the sync facade
   the ``repro submit`` / ``repro jobs`` / ``repro shutdown`` commands
-  use.
+  use;
+* :mod:`~repro.service.faults` — fault injection (``REPRO_FAULTS``,
+  faulty transport wrapper) for the distributed chaos suite
+  (docs/distributed.md).
 """
 
 from .client import AsyncServiceClient, ServiceError, call
+from .faults import FaultInjector, FaultPlan, FaultSpecError, FaultyConnection
 from .jobs import Job, JobBoard, Subscriber
 from .protocol import (
     CANCELLED,
@@ -52,6 +56,10 @@ __all__ = [
     "CANCELLED",
     "DONE",
     "FAILED",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultyConnection",
     "InProcConnection",
     "InProcListener",
     "JOB_STATES",

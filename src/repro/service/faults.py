@@ -1,0 +1,188 @@
+"""Fault injection for the distributed scheduler/worker protocol.
+
+The chaos suite (``tests/test_distributed.py``) has to prove semantics
+that only show up when things die at exactly the wrong moment: a worker
+SIGKILLed mid-cell, heartbeats that silently stop arriving, a
+connection severed between computing a result and delivering it.  This
+module is the single place those failures are manufactured, in two
+complementary shapes:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — an out-of-process plan
+  parsed from the ``REPRO_FAULTS`` environment variable.  A spawned
+  worker consults its injector at each protocol boundary (cell start,
+  heartbeat tick, result send) and hurts *itself* on cue, which is the
+  only honest way to test SIGKILL: the process genuinely disappears
+  with no chance to clean up.
+* :class:`FaultyConnection` — an in-process transport wrapper that
+  drops or severs specific operations on an otherwise healthy
+  connection, for deterministic single-event-loop chaos tests.
+
+``REPRO_FAULTS`` is a comma-separated list of directives::
+
+    kill:cell:N        SIGKILL this process as it starts its Nth cell
+    sever:result:N     abruptly close the connection instead of sending
+                       the Nth result, then exit
+    mute:heartbeat     stop sending heartbeats entirely
+    mute:heartbeat:N   send N heartbeats, then go silent
+    delay:heartbeat:S  sleep S seconds before every heartbeat send
+
+Counts are 1-based ("the first cell" is ``kill:cell:1``).  Directives
+the worker does not understand raise :class:`FaultSpecError` at parse
+time — a typo in a chaos test must fail loudly, not silently test
+nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Optional
+
+ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultSpecError(ValueError):
+    """An unparseable ``REPRO_FAULTS`` directive."""
+
+
+@dataclass
+class FaultPlan:
+    """Parsed fault directives for one worker process."""
+
+    kill_at_cell: Optional[int] = None
+    sever_at_result: Optional[int] = None
+    mute_heartbeats_after: Optional[int] = None
+    heartbeat_delay: float = 0.0
+
+    @classmethod
+    def parse(cls, spec: Optional[str]) -> "FaultPlan":
+        plan = cls()
+        for raw in (spec or "").replace(";", ",").split(","):
+            directive = raw.strip()
+            if not directive:
+                continue
+            parts = directive.split(":")
+            try:
+                if parts[:2] == ["kill", "cell"] and len(parts) == 3:
+                    plan.kill_at_cell = int(parts[2])
+                elif parts[:2] == ["sever", "result"] and len(parts) == 3:
+                    plan.sever_at_result = int(parts[2])
+                elif parts[:2] == ["mute", "heartbeat"] and len(parts) == 2:
+                    plan.mute_heartbeats_after = 0
+                elif parts[:2] == ["mute", "heartbeat"] and len(parts) == 3:
+                    plan.mute_heartbeats_after = int(parts[2])
+                elif parts[:2] == ["delay", "heartbeat"] and len(parts) == 3:
+                    plan.heartbeat_delay = float(parts[2])
+                else:
+                    raise FaultSpecError(f"unknown fault directive: {directive!r}")
+            except ValueError as exc:
+                if isinstance(exc, FaultSpecError):
+                    raise
+                raise FaultSpecError(
+                    f"malformed fault directive: {directive!r}"
+                ) from None
+        return plan
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.kill_at_cell is None
+            and self.sever_at_result is None
+            and self.mute_heartbeats_after is None
+            and not self.heartbeat_delay
+        )
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan` at protocol boundaries.
+
+    The worker agent calls one method per boundary; with an empty plan
+    every call is a cheap no-op, so the injector is always wired in and
+    production and chaos runs exercise the identical code path.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._cells = 0
+        self._results = 0
+        self._heartbeats = 0
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultInjector":
+        environ = os.environ if environ is None else environ
+        return cls(FaultPlan.parse(environ.get(ENV_VAR)))
+
+    # ------------------------------------------------------------------
+    def on_cell_start(self) -> None:
+        """SIGKILL this process if the plan says this cell is the one.
+
+        SIGKILL — not an exception, not sys.exit — because the semantics
+        under test are a worker that vanishes without running a single
+        ``finally`` block.
+        """
+        self._cells += 1
+        if self.plan.kill_at_cell is not None and self._cells == self.plan.kill_at_cell:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def should_sever_result(self) -> bool:
+        """Whether to sever the connection instead of sending this result."""
+        self._results += 1
+        return (
+            self.plan.sever_at_result is not None
+            and self._results == self.plan.sever_at_result
+        )
+
+    def drop_heartbeat(self) -> bool:
+        """Whether this heartbeat should silently not be sent."""
+        self._heartbeats += 1
+        after = self.plan.mute_heartbeats_after
+        return after is not None and self._heartbeats > after
+
+    def heartbeat_delay(self) -> float:
+        return self.plan.heartbeat_delay
+
+
+class FaultyConnection:
+    """Transport wrapper that injects faults on specific operations.
+
+    Wraps any connection duck type (stream or in-process).  ``drop_ops``
+    silently discards sends whose ``op`` matches; ``sever_on`` closes
+    the underlying connection instead of performing the Nth send of
+    that op and raises ``ConnectionError``, exactly what a TCP RST
+    mid-write looks like to the caller.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        drop_ops: tuple = (),
+        sever_on: Optional[str] = None,
+        sever_at: int = 1,
+    ) -> None:
+        self._inner = inner
+        self._drop_ops = frozenset(drop_ops)
+        self._sever_on = sever_on
+        self._sever_at = sever_at
+        self._sends: dict = {}
+        #: Sends swallowed so far, by op (tests assert on this).
+        self.dropped: dict = {}
+
+    async def send(self, message: dict) -> None:
+        op = message.get("op")
+        if op in self._drop_ops:
+            self.dropped[op] = self.dropped.get(op, 0) + 1
+            return
+        if op is not None and op == self._sever_on:
+            self._sends[op] = self._sends.get(op, 0) + 1
+            if self._sends[op] == self._sever_at:
+                await self._inner.close()
+                raise ConnectionError(f"fault: connection severed on {op!r}")
+        await self._inner.send(message)
+
+    async def recv(self):
+        return await self._inner.recv()
+
+    async def close(self) -> None:
+        await self._inner.close()

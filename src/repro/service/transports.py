@@ -279,12 +279,19 @@ class InProcListener:
 def parse_address(address: str) -> Tuple[str, ...]:
     """``unix:/path``, ``tcp:host:port``, or a bare filesystem path.
 
-    Returns ``("unix", path)`` or ``("tcp", host, port)``.
+    URL-style double slashes are tolerated (``tcp://host:port``,
+    ``unix:///path``) so addresses copied from dask/k8s-shaped configs
+    just work.  Returns ``("unix", path)`` or ``("tcp", host, port)``.
     """
     if address.startswith("unix:"):
-        return ("unix", address[len("unix:"):])
+        rest = address[len("unix:"):]
+        if rest.startswith("//"):
+            rest = rest[2:]  # "unix:///tmp/x" -> "/tmp/x"
+        return ("unix", rest)
     if address.startswith("tcp:"):
         rest = address[len("tcp:"):]
+        if rest.startswith("//"):
+            rest = rest[2:]
         host, sep, port = rest.rpartition(":")
         if not sep or not port.isdigit():
             raise ProtocolError(f"malformed tcp address: {address!r}")

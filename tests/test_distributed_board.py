@@ -1,0 +1,535 @@
+"""Property tests for the distributed scheduling board (docs/distributed.md).
+
+:class:`~repro.distributed.board.CellBoard` is a pure state machine
+with an injectable clock, so every scheduling claim the chaos suite
+relies on is proven here deterministically: locality-aware placement
+lands cells where their graph is staged, a straggler loses exactly its
+queued cells (never its running ones), heartbeat silence — not pull
+traffic — is what keeps a worker alive, death reclaims/retries with
+failure domains, results deduplicate first-wins, and a fixed event
+order always produces the identical schedule.  A hypothesis random
+walk then drives arbitrary interleavings to completion and checks the
+global accounting invariants hold at every step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import CellBoard
+from repro.distributed.protocol import BUSY, DEAD, DRAINING, IDLE, SUSPECT
+from repro.experiments import eval_config
+from repro.orchestrator import CellSpec
+from repro.orchestrator.cells import graph_key, group_key
+
+CFG = eval_config()
+
+
+def _spec(dataset="wi", pattern="tc", scale=0.1) -> CellSpec:
+    return CellSpec(dataset, pattern, "shogun", scale, CFG, True)
+
+
+def make_specs(layout):
+    """``{"k00": ("wi", "tc", 0.1), ...}`` -> specs dict with stable keys.
+
+    Key strings are chosen sorted so the board's deterministic ordering
+    is easy to predict in the assertions.
+    """
+    return {key: _spec(*coords) for key, coords in layout.items()}
+
+
+class Clock:
+    """Virtual monotonic clock the board is driven with."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+
+def board_for(layout, **kwargs):
+    clock = kwargs.pop("clock", None) or Clock()
+    board = CellBoard(make_specs(layout), clock=clock, **kwargs)
+    return board, clock
+
+
+# Two groups of two cells sharing one graph each — the smallest layout
+# where placement, affinity and stealing are all observable.
+TWO_GROUPS = {
+    "a0": ("wi", "tc", 0.1),
+    "a1": ("wi", "tc", 0.1),
+    "b0": ("as", "tc", 0.1),
+    "b1": ("as", "tc", 0.1),
+}
+
+
+def drain_worker(board, wid, *, ok=True, now=None):
+    """Pull-and-complete until the worker gets no more cells."""
+    done = []
+    while True:
+        kind, key = board.pull(wid, now=now)
+        if kind != "cell":
+            return done, kind
+        board.complete(wid, key, ok=ok, now=now)
+        done.append(key)
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+
+class TestPlacement:
+    def test_groups_ordered_largest_first_key_tiebreak(self):
+        board, _ = board_for({
+            "a0": ("wi", "tc", 0.1),
+            "b0": ("as", "tc", 0.1),
+            "b1": ("as", "tc", 0.1),
+            "b2": ("as", "tc", 0.1),
+            "c0": ("mi", "tc", 0.1),
+        })
+        groups = list(board._unassigned)
+        assert groups[0] == ("as", "tc", 0.1)  # largest group first
+        assert groups[1:] == [("mi", "tc", 0.1), ("wi", "tc", 0.1)]
+
+    def test_pull_hands_out_whole_group(self):
+        # Both groups have two cells; the key tie-break puts "as"
+        # (group b*) at the front of the pool.
+        board, _ = board_for(TWO_GROUPS)
+        w = board.register("w", pid=1)
+        kind, key = board.pull(w.worker_id)
+        assert kind == "cell" and key == "b0"
+        # The sibling cell is queued on this worker, not unassigned.
+        assert list(w.queued) == ["b1"]
+        assert group_key(board.specs["b0"]) not in board._unassigned
+        assert w.state == BUSY
+        assert w.staged == {("as", 0.1)}
+
+    def test_staged_affinity_wins_over_front_group(self):
+        # Group "as" is larger (front of the pool), but the worker has
+        # already staged wi@0.1 — it must be handed the wi group.
+        board, _ = board_for({
+            "a0": ("wi", "tc", 0.1),
+            "b0": ("as", "tc", 0.1),
+            "b1": ("as", "tc", 0.1),
+        })
+        w = board.register("w", pid=1)
+        w.staged.add(("wi", 0.1))
+        kind, key = board.pull(w.worker_id)
+        assert (kind, key) == ("cell", "a0")
+
+    def test_every_cell_runs_where_its_graph_is_staged(self):
+        # The acceptance property: at pull time, the puller has the
+        # cell's graph in its staged set (placement created it if new).
+        board, _ = board_for(TWO_GROUPS)
+        workers = [board.register(f"w{i}", pid=i) for i in (1, 2)]
+        ran = {}
+        progress = True
+        while not board.done and progress:
+            progress = False
+            for w in workers:
+                kind, key = board.pull(w.worker_id)
+                if kind != "cell":
+                    continue
+                progress = True
+                assert graph_key(board.specs[key]) in w.staged
+                ran[key] = w.worker_id
+                board.complete(w.worker_id, key, ok=True)
+        assert board.done and set(ran) == set(TWO_GROUPS)
+        # Two workers, two groups: locality split one group per worker.
+        assert ran["a0"] == ran["a1"] and ran["b0"] == ran["b1"]
+        assert ran["a0"] != ran["b0"]
+
+    def test_all_resolved_group_is_skipped(self):
+        # Group A (3 cells) is front; B and C (2 each) follow, B first
+        # by key.  With B resolved out from under placement, a fresh
+        # worker must recurse past it and land on C.
+        board, _ = board_for({
+            "a0": ("aa", "tc", 0.1), "a1": ("aa", "tc", 0.1),
+            "a2": ("aa", "tc", 0.1),
+            "b0": ("bb", "tc", 0.1), "b1": ("bb", "tc", 0.1),
+            "c0": ("cc", "tc", 0.1), "c1": ("cc", "tc", 0.1),
+        })
+        w1 = board.register("w1", pid=1)
+        kind, key = board.pull(w1.worker_id)
+        assert key == "a0"  # w1 owns group A
+        board.complete(w1.worker_id, "b0", ok=True)
+        board.complete(w1.worker_id, "b1", ok=True)
+        w2 = board.register("w2", pid=2)
+        kind, key = board.pull(w2.worker_id)
+        assert (kind, key) == ("cell", "c0")
+
+
+# ----------------------------------------------------------------------
+# stealing
+# ----------------------------------------------------------------------
+
+class TestStealing:
+    def test_straggler_loses_exactly_its_queued_cells(self):
+        board, _ = board_for({
+            "a0": ("wi", "tc", 0.1), "a1": ("wi", "tc", 0.1),
+            "a2": ("wi", "tc", 0.1), "a3": ("wi", "tc", 0.1),
+        })
+        straggler = board.register("slow", pid=1)
+        kind, running_key = board.pull(straggler.worker_id)
+        assert running_key == "a0"
+        queued_before = list(straggler.queued)
+        assert queued_before == ["a1", "a2", "a3"]
+
+        thief = board.register("fast", pid=2)
+        kind, key = board.pull(thief.worker_id)
+        assert (kind, key) == ("cell", "a1")
+        # Exactly the queued cells moved; the running cell is untouched.
+        assert list(straggler.queued) == []
+        assert list(straggler.running) == ["a0"]
+        assert list(thief.queued) == ["a2", "a3"]
+        assert board.stats["steals"] == 1
+        assert board.stats["stolen_cells"] == 3
+        # The thief inherits the group's graph identity.
+        assert ("wi", 0.1) in thief.staged
+
+    def test_steal_prefers_staged_victim_then_deepest_queue(self):
+        board, _ = board_for({
+            "a0": ("wi", "tc", 0.1), "a1": ("wi", "tc", 0.1),
+            "b0": ("as", "tc", 0.1), "b1": ("as", "tc", 0.1),
+            "b2": ("as", "tc", 0.1),
+        })
+        v1 = board.register("v1", pid=1)  # takes the bigger "as" group
+        board.pull(v1.worker_id)
+        v2 = board.register("v2", pid=2)  # takes the "wi" group
+        board.pull(v2.worker_id)
+        assert len(v1.queued) == 2 and len(v2.queued) == 1
+
+        thief = board.register("t", pid=3)
+        thief.staged.add(("wi", 0.1))  # affinity with v2's queue head
+        kind, key = board.pull(thief.worker_id)
+        assert kind == "cell" and key == "a1"  # stole from v2, not deeper v1
+        assert len(v2.queued) == 0 and len(v1.queued) == 2
+
+    def test_no_steal_from_dead_or_running_only_workers(self):
+        board, _ = board_for({"a0": ("wi", "tc", 0.1)})
+        v = board.register("v", pid=1)
+        board.pull(v.worker_id)  # running a0, nothing queued
+        thief = board.register("t", pid=2)
+        kind, _ = board.pull(thief.worker_id)
+        assert kind == "wait"
+        assert board.stats["steals"] == 0
+
+
+# ----------------------------------------------------------------------
+# liveness
+# ----------------------------------------------------------------------
+
+class TestLiveness:
+    def test_pull_does_not_refresh_liveness(self):
+        board, clock = board_for(TWO_GROUPS, heartbeat_timeout=5.0)
+        w = board.register("w", pid=1)
+        clock.advance(4.0)
+        board.pull(w.worker_id)  # polls, but never heartbeats
+        clock.advance(2.0)  # 6s of heartbeat silence total
+        reports = board.expire()
+        assert [r.worker.worker_id for r in reports] == [w.worker_id]
+        assert r.cause == "heartbeat-expired" if (r := reports[0]) else False
+        assert w.state == DEAD
+
+    def test_heartbeat_refreshes_and_recovers_suspect(self):
+        board, clock = board_for(TWO_GROUPS, heartbeat_timeout=5.0)
+        w = board.register("w", pid=1)
+        board.pull(w.worker_id)
+        clock.advance(3.0)  # past timeout/2
+        board.expire()
+        assert w.state == SUSPECT
+        assert board.heartbeat(w.worker_id) is True
+        assert w.state == BUSY  # running a cell
+        clock.advance(3.0)
+        assert board.expire() == []  # heartbeat reset the silence window
+
+    def test_heartbeat_from_buried_worker_reports_dead(self):
+        board, clock = board_for(TWO_GROUPS, heartbeat_timeout=1.0)
+        w = board.register("w", pid=1)
+        clock.advance(2.0)
+        board.expire()
+        assert board.heartbeat(w.worker_id) is False
+        assert board.heartbeat("w999") is False
+
+    def test_expiry_reclaims_queued_and_retries_running(self):
+        board, clock = board_for({
+            "a0": ("wi", "tc", 0.1), "a1": ("wi", "tc", 0.1),
+            "a2": ("wi", "tc", 0.1),
+        }, heartbeat_timeout=1.0)
+        w = board.register("w", pid=1)
+        board.pull(w.worker_id)  # running a0; a1, a2 queued
+        clock.advance(2.0)
+        (report,) = board.expire()
+        assert report.reclaimed == ["a1", "a2"]
+        assert report.retried == ["a0"]
+        assert report.failed == []
+        assert board.stats["reclaimed"] == 2
+        assert board.stats["death_retries"] == 1
+        assert board.domains["a0"] == [w.worker_id]
+        # A fresh worker gets everything back, retried cell first.
+        survivor = board.register("s", pid=2)
+        done, _ = drain_worker(board, survivor.worker_id)
+        assert done[0] == "a0"
+        assert board.done and not board.failures
+
+
+# ----------------------------------------------------------------------
+# death budgets and failure domains
+# ----------------------------------------------------------------------
+
+class TestDeaths:
+    def test_cell_that_kills_every_host_fails_with_domains(self):
+        board, clock = board_for(
+            {"a0": ("wi", "tc", 0.1)},
+            heartbeat_timeout=1.0, death_retries=1,
+        )
+        first = board.register("w1", pid=1)
+        board.pull(first.worker_id)
+        clock.advance(2.0)
+        (r1,) = board.expire()
+        assert r1.retried == ["a0"]
+
+        second = board.register("w2", pid=2)
+        board.pull(second.worker_id)
+        clock.advance(2.0)
+        (r2,) = board.expire()
+        assert r2.failed == ["a0"] and r2.retried == []
+        report = board.failures["a0"]
+        assert report["type"] == "WorkerLost"
+        assert report["domains"] == [first.worker_id, second.worker_id]
+        assert board.done
+
+    def test_death_budget_is_separate_from_error_budget(self):
+        # One worker death, then one cell error: the error retry budget
+        # (retries=1) is still fully available afterwards.
+        board, clock = board_for(
+            {"a0": ("wi", "tc", 0.1)}, heartbeat_timeout=1.0, retries=1,
+        )
+        w1 = board.register("w1", pid=1)
+        board.pull(w1.worker_id)
+        clock.advance(2.0)
+        board.expire()  # death retry
+
+        w2 = board.register("w2", pid=2)
+        board.pull(w2.worker_id)
+        err = {"type": "SimError", "message": "boom", "traceback": ""}
+        assert board.complete(w2.worker_id, "a0", ok=False, error=err) == "retry"
+        board.pull(w2.worker_id)
+        status = board.complete(w2.worker_id, "a0", ok=False, error=err)
+        assert status == "failed"
+        # The terminal report carries the failure domain of the death.
+        assert board.failures["a0"]["domains"] == [w1.worker_id]
+
+    def test_disconnect_mid_sweep_is_a_death(self):
+        board, _ = board_for(TWO_GROUPS)
+        w = board.register("w", pid=1)
+        board.pull(w.worker_id)
+        report = board.disconnect(w.worker_id)
+        assert report is not None and report.cause == "disconnected"
+        assert board.stats["disconnected"] == 1
+
+    def test_disconnect_after_done_is_a_drain(self):
+        board, _ = board_for({"a0": ("wi", "tc", 0.1)})
+        w = board.register("w", pid=1)
+        drain_worker(board, w.worker_id)
+        assert board.done
+        assert board.disconnect(w.worker_id) is None
+        assert w.state == DRAINING
+        assert board.describe()[0]["state"] == "drained"
+        assert board.stats["disconnected"] == 0
+
+    def test_fail_pending_clears_everything(self):
+        board, _ = board_for(TWO_GROUPS)
+        w = board.register("w", pid=1)
+        board.pull(w.worker_id)
+        failed = board.fail_pending(
+            {"type": "NoWorkers", "message": "gone", "traceback": ""}
+        )
+        assert sorted(failed) == sorted(TWO_GROUPS)
+        assert board.done
+        assert not board._unassigned and not w.queued and not w.running
+
+
+# ----------------------------------------------------------------------
+# first-result-wins deduplication
+# ----------------------------------------------------------------------
+
+class TestDedup:
+    def test_second_result_is_duplicate(self):
+        board, _ = board_for({"a0": ("wi", "tc", 0.1)})
+        w = board.register("w", pid=1)
+        board.pull(w.worker_id)
+        assert board.complete(w.worker_id, "a0", ok=True) == "recorded"
+        assert board.complete(w.worker_id, "a0", ok=True) == "duplicate"
+        assert board.stats["duplicates"] == 1
+        assert w.completed == 1  # the duplicate did not double count
+
+    def test_severed_then_retried_cell_never_double_counts(self):
+        # Worker A computes a0 but dies before delivery; B recomputes
+        # and delivers; a late delivery from a resurrected A is a
+        # duplicate.  This is the sever:result chaos scenario, exactly.
+        board, clock = board_for(
+            {"a0": ("wi", "tc", 0.1)}, heartbeat_timeout=1.0
+        )
+        a = board.register("a", pid=1)
+        board.pull(a.worker_id)
+        board.disconnect(a.worker_id)  # severed pre-delivery -> death
+        b = board.register("b", pid=2)
+        kind, key = board.pull(b.worker_id)
+        assert (kind, key) == ("cell", "a0")  # retried, not lost
+        assert board.complete(b.worker_id, "a0", ok=True) == "recorded"
+        assert board.complete(a.worker_id, "a0", ok=True) == "duplicate"
+        assert board.done and len(board.resolved) == 1
+
+    def test_stale_queued_keys_are_pruned_not_rerun(self):
+        board, _ = board_for({
+            "a0": ("wi", "tc", 0.1), "a1": ("wi", "tc", 0.1),
+        })
+        slow = board.register("slow", pid=1)
+        board.pull(slow.worker_id)  # running a0, a1 queued
+        fast = board.register("fast", pid=2)
+        board.pull(fast.worker_id)  # steals a1
+        board.complete(fast.worker_id, "a1", ok=True)
+        board.complete(slow.worker_id, "a0", ok=True)
+        # Neither worker can pull a resolved cell back out.
+        assert board.pull(slow.worker_id) == ("drain", None)
+        assert board.pull(fast.worker_id) == ("drain", None)
+
+    def test_unknown_key_is_an_error(self):
+        board, _ = board_for({"a0": ("wi", "tc", 0.1)})
+        w = board.register("w", pid=1)
+        with pytest.raises(KeyError):
+            board.complete(w.worker_id, "zz", ok=True)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+
+def scripted_run(layout, script):
+    """Drive a fresh board with one event script; return the trace."""
+    board, clock = board_for(layout, heartbeat_timeout=5.0)
+    trace = []
+    names = {}
+    for event in script:
+        op, arg = event
+        if op == "register":
+            names[arg] = board.register(arg, pid=len(names) + 1).worker_id
+        elif op == "pull":
+            trace.append((arg, board.pull(names[arg])))
+        elif op == "ok":
+            wid = names[arg[0]]
+            trace.append((arg[0], board.complete(wid, arg[1], ok=True)))
+        elif op == "tick":
+            clock.advance(arg)
+            trace.append(("expire", [r.worker.name for r in board.expire()]))
+    trace.append(("stats", dict(board.stats)))
+    return trace
+
+
+class TestDeterminism:
+    def test_identical_event_order_identical_schedule(self):
+        script = [
+            ("register", "w1"), ("register", "w2"),
+            ("pull", "w1"), ("pull", "w2"),
+            ("ok", ("w1", "a0")), ("pull", "w1"),
+            ("tick", 1.0),
+            ("ok", ("w2", "b0")), ("pull", "w2"),
+            ("ok", ("w1", "a1")), ("ok", ("w2", "b1")),
+            ("pull", "w1"), ("pull", "w2"),
+        ]
+        assert scripted_run(TWO_GROUPS, script) == scripted_run(
+            TWO_GROUPS, script
+        )
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random walks keep the accounting invariants
+# ----------------------------------------------------------------------
+
+LAYOUT = {
+    "a0": ("wi", "tc", 0.1), "a1": ("wi", "tc", 0.1),
+    "a2": ("wi", "tc", 0.1),
+    "b0": ("as", "tc", 0.1), "b1": ("as", "tc", 0.1),
+    "c0": ("wi", "tc", 0.2),
+}
+
+EVENTS = st.lists(
+    st.one_of(
+        st.tuples(st.just("pull"), st.integers(0, 2)),
+        st.tuples(st.just("finish"), st.integers(0, 2)),
+        st.tuples(st.just("fail"), st.integers(0, 2)),
+        st.tuples(st.just("beat"), st.integers(0, 2)),
+        st.tuples(st.just("kill"), st.integers(0, 2)),
+        st.tuples(st.just("tick"), st.floats(0.1, 3.0)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+def check_invariants(board):
+    keys = set(board.specs)
+    assert board.resolved.isdisjoint(board.failures)
+    assert board.resolved | set(board.failures) <= keys
+    # No unresolved cell is running in two places, and every running
+    # cell is either pending or a known stale entry about to dedup.
+    running = [k for w in board.workers.values() if w.live for k in w.running]
+    assert len(running) == len(set(running))
+    # Every pending cell is reachable: unassigned, queued or running on
+    # a live worker (nothing leaks out of the schedule).
+    reachable = set()
+    for queue in board._unassigned.values():
+        reachable.update(queue)
+    for w in board.workers.values():
+        if w.live:
+            reachable.update(w.queued)
+            reachable.update(w.running)
+    assert set(board.pending()) <= reachable
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=EVENTS)
+def test_random_walk_converges_and_keeps_invariants(events):
+    board, clock = board_for(dict(LAYOUT), heartbeat_timeout=5.0)
+    workers = [board.register(f"w{i}", pid=i) for i in (1, 2, 3)]
+    for op, arg in events:
+        if op == "tick":
+            clock.advance(arg)
+            board.expire()
+        elif op == "beat":
+            board.heartbeat(workers[arg].worker_id)
+        elif op == "kill":
+            board.disconnect(workers[arg].worker_id)
+        elif op == "pull":
+            board.pull(workers[arg].worker_id)
+        else:
+            w = workers[arg]
+            if w.running:
+                key = next(iter(w.running))
+                board.complete(w.worker_id, key, ok=(op == "finish"))
+        check_invariants(board)
+    # A fresh, healthy worker must always be able to finish the sweep.
+    closer = board.register("closer", pid=99)
+    for _ in range(10 * len(LAYOUT)):
+        if board.done:
+            break
+        kind, key = board.pull(closer.worker_id)
+        if kind == "cell":
+            board.complete(closer.worker_id, key, ok=True)
+        elif kind == "wait":
+            # Only stale running cells on dead-but-unexpired workers can
+            # hold the sweep open; expire them (keeping the closer's own
+            # heartbeat fresh so it survives the jump in virtual time).
+            clock.advance(10.0)
+            board.heartbeat(closer.worker_id)
+            board.expire()
+    assert board.done
+    assert set(board.resolved) | set(board.failures) == set(LAYOUT)
+    check_invariants(board)
