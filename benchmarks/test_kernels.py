@@ -77,11 +77,18 @@ def _best_of(fn, repeats=7, clock=time.perf_counter):
     co-tenant load, which routinely swings wall clock by tens of
     percent on shared runners (frequency/IPC drift is what the
     calibration rescale is for).
+
+    One untimed warm-up call runs before the clock starts: first-call
+    costs — a compiled backend's shared-library load, a JIT compile, a
+    cold dataset memo — are startup artifacts, not kernel cost, and
+    best-of-N only dilutes them instead of excluding them when every
+    repeat pays the same lazy bill.
     """
     best = float("inf")
     was_enabled = gc.isenabled()
     gc.disable()
     try:
+        fn()
         for _ in range(repeats):
             start = clock()
             fn()
@@ -485,6 +492,53 @@ class TestKernelBackendCompiled:
             f"200 48-sample EMA latency folds, {compiled.name} vs pure",
         )
 
+    def test_engine_macro_drain(self, kernel_sets):
+        """Macro-step compiled drain vs per-event booking, end to end.
+
+        A policy-light 4-clique run (lj, plain BFS — scheduler time is
+        not drain cost) under the compiled backend, once with the
+        macro-step engine core draining whole task bookings in C and
+        once pinned to the per-event reference loop.  Metrics are
+        asserted identical before timing — the macro core's acceptance
+        bar is bit-identity, the speedup is only meaningful against an
+        equivalent run.  Like the set-op operands above, this kernel
+        deliberately ignores ``REPRO_SCALE``: the drain's advantage
+        grows with span length (one C call replaces a whole multi-line
+        fetch/issue/writeback pipeline), and the reduced-scale stand-in
+        truncates spans below the regime the core targets.  Recorded
+        only when a compiled backend exists (this class skips
+        otherwise): the interpreted fast path is a parity oracle, not a
+        speedup, so a pure-leg record would just trip the 1.0x floor.
+        """
+        compiled, _ = kernel_sets
+        graph = load_dataset("lj", scale=1.0)
+        schedule = benchmark_schedule("4cl")
+        base = eval_config().replace(backend=compiled.name)
+        macro_config = base.replace(macro_step=True)
+        per_event_config = base.replace(macro_step=False)
+
+        def run_macro():
+            return simulate(graph, schedule, policy="bfs",
+                            config=macro_config)
+
+        def run_per_event():
+            return simulate(graph, schedule, policy="bfs",
+                            config=per_event_config)
+
+        before = kernel_backend.active()
+        try:
+            vec = _best_of(run_macro, repeats=5, clock=time.process_time)
+            ref = _best_of(run_per_event, repeats=5, clock=time.process_time)
+            assert run_macro().to_dict() == run_per_event().to_dict()
+        finally:
+            kernel_backend._install(before)
+        _record_kernel(
+            "engine_macro_drain", vec, ref,
+            f"lj 4-clique BFS end-to-end at full scale, {compiled.name} "
+            f"macro-step drain vs per-event booking "
+            f"(bit-identical metrics)",
+        )
+
 
 def _noop():
     pass
@@ -809,4 +863,17 @@ def test_zz_emit_and_gate(scale):
                 f"compiled backend reached 2× on only {len(fast)} kernels "
                 f"(need >=3): {summary}"
             )
+    # The macro-step engine core's own acceptance bar: when the drain
+    # kernel was recorded (i.e. a compiled backend was available), the
+    # whole-task compiled drain must at least halve the end-to-end cell
+    # wall versus per-event booking — less than 2× means the escape
+    # protocol's overhead ate the win and the core needs investigating.
+    macro = RESULTS["kernels"].get("engine_macro_drain")
+    if macro is not None and macro["speedup"] < 2.0:
+        failures.append(
+            f"engine_macro_drain: macro-step drain at "
+            f"{macro['speedup']:.2f}× < 2.0× over per-event booking "
+            f"(macro {macro['vectorized_s']:.3f}s vs per-event "
+            f"{macro['reference_s']:.3f}s)"
+        )
     assert not failures, "performance regression:\n" + "\n".join(failures)

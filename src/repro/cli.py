@@ -501,6 +501,8 @@ def cmd_profile(args) -> int:
 
     from .sim import backend as kernel_backend
 
+    from .sim.accelerator import Accelerator
+
     kernels = _apply_backend(args)
     graph = _load_graph(args)
     schedule = benchmark_schedule(args.pattern)
@@ -509,7 +511,10 @@ def cmd_profile(args) -> int:
     start = time.time()
     with kernel_backend.instrument() as kernel_stats:
         profiler.enable()
-        metrics = simulate(graph, schedule, policy=args.policy, config=config)
+        # Constructed directly (not through simulate()) so the macro-step
+        # core's fast-path coverage counters survive the run.
+        accel = Accelerator(graph, schedule, config, args.policy)
+        metrics = accel.run()
         profiler.disable()
     elapsed = time.time() - start
     print(metrics.summary())
@@ -521,6 +526,18 @@ def cmd_profile(args) -> int:
     for kernel in kernel_backend.KernelSet.KERNELS:
         calls, seconds = kernel_stats[kernel]
         print(f"  {kernel:20s} {calls:>12,d} calls  {seconds:9.3f}s")
+    coverage = accel.macro.coverage() if accel.macro is not None else None
+    if coverage is not None:
+        print(
+            f"macro-step fast path: {coverage['drained']:,d}/"
+            f"{coverage['tasks']:,d} tasks drained in the compiled core "
+            f"({coverage['drained_fraction']:.1%})"
+        )
+        for key, count in coverage["counters"].items():
+            if count:
+                print(f"  {key:20s} {count:>12,d}")
+    else:
+        print("macro-step fast path: off (per-event booking)")
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)
     if args.json:
@@ -539,6 +556,7 @@ def cmd_profile(args) -> int:
                 kernel: {"calls": calls, "seconds": seconds}
                 for kernel, (calls, seconds) in kernel_stats.items()
             },
+            "macro_step": coverage,
             "instrumented_wall_s": elapsed,
             "cycles": metrics.cycles,
             "matches": metrics.matches,

@@ -78,6 +78,13 @@ class WorkerEntry:
     staged: Set[Tuple[str, float]] = field(default_factory=set)
     completed: int = 0
     cause: Optional[str] = None
+    #: Kernel backend the worker process resolved at startup, and the
+    #: fallback detail when its request could not be honored.  The
+    #: one-time "toolchain missing" warning is easy to lose in worker
+    #: processes; recording the resolution here keeps a silent
+    #: cext→pure downgrade visible in the run manifest roster.
+    backend: Optional[str] = None
+    backend_fallback: Optional[str] = None
 
     @property
     def live(self) -> bool:
@@ -94,6 +101,12 @@ class WorkerEntry:
             "completed": self.completed,
             "staged": sorted(f"{d}@{s:g}" for d, s in self.staged),
             **({"cause": self.cause} if self.cause else {}),
+            **({"backend": self.backend} if self.backend else {}),
+            **(
+                {"backend_fallback": self.backend_fallback}
+                if self.backend_fallback
+                else {}
+            ),
         }
 
 
@@ -212,13 +225,21 @@ class CellBoard:
     # events
     # ------------------------------------------------------------------
     def register(
-        self, name: str, pid: int, slots: int = 1, now: Optional[float] = None
+        self,
+        name: str,
+        pid: int,
+        slots: int = 1,
+        backend: Optional[str] = None,
+        backend_fallback: Optional[str] = None,
+        now: Optional[float] = None,
     ) -> WorkerEntry:
         now = self._now(now)
         self._ids += 1
         worker = WorkerEntry(
             worker_id=f"w{self._ids}", name=str(name), pid=int(pid),
             slots=max(1, int(slots)), registered_at=now, last_heartbeat=now,
+            backend=str(backend) if backend else None,
+            backend_fallback=str(backend_fallback) if backend_fallback else None,
         )
         self.workers[worker.worker_id] = worker
         self.stats["registered"] += 1

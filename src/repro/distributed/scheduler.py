@@ -149,11 +149,15 @@ class DistributedScheduler:
                 name=message.get("name") or "worker",
                 pid=int(message.get("pid") or 0),
                 slots=int(message.get("slots") or 1),
+                backend=message.get("backend"),
+                backend_fallback=message.get("backend_fallback"),
             )
-            self._report(
-                f"[join] {worker.name} -> {worker.worker_id} "
-                f"(pid {worker.pid}, {worker.slots} slot(s))"
-            )
+            detail = f"pid {worker.pid}, {worker.slots} slot(s)"
+            if worker.backend:
+                detail += f", backend {worker.backend}"
+            if worker.backend_fallback:
+                detail += f" (fallback: {worker.backend_fallback})"
+            self._report(f"[join] {worker.name} -> {worker.worker_id} ({detail})")
             return ok_reply(
                 req_id,
                 worker=worker.worker_id,

@@ -106,8 +106,21 @@ class WorkerAgent:
             )
         executor: Optional[PersistentCellExecutor] = None
         try:
+            # Resolve the kernel backend up front (honoring
+            # REPRO_BACKEND) and report the resolution with the
+            # registration: the one-time fallback warning is invisible
+            # on a remote worker, so the roster carries it instead.
+            from ..sim import backend as kernel_backend
+
+            kernel_backend.activate(None)
+            resolution = kernel_backend.resolution()
             reply = await client.request(
-                "register", name=self.name, pid=os.getpid(), slots=self.slots
+                "register",
+                name=self.name,
+                pid=os.getpid(),
+                slots=self.slots,
+                backend=resolution["resolved"],
+                backend_fallback=resolution["fallback"],
             )
             if not reply.get("ok"):
                 error = reply.get("error", {})

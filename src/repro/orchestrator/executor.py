@@ -67,10 +67,21 @@ def _execute_staged_cell(payload: Tuple, handle: Optional[ArenaHandle]):
     except BaseException:
         pass
     key, metrics_dict, error, seconds = _execute_cell(payload)
+    from ..sim import backend as kernel_backend
+
+    resolution = kernel_backend.resolution()
     worker = {
         "pid": os.getpid(),
         "dataset_source": source,
         "graph_seconds": round(graph_seconds, 6),
+        # Resolution observed after the cell ran (the cell's config /
+        # REPRO_BACKEND drove activation); surfaces silent fallbacks.
+        "backend": resolution["resolved"],
+        **(
+            {"backend_fallback": resolution["fallback"]}
+            if resolution["fallback"]
+            else {}
+        ),
     }
     return key, metrics_dict, error, seconds, worker
 

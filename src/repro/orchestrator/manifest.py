@@ -126,6 +126,12 @@ class RunManifest:
             survived = sum(1 for w in self.workers if w.get("state") != "dead")
             roster = ", ".join(
                 f"{w.get('name', '?')}:{w.get('completed', 0)} cells"
+                + (f" [{w.get('backend')}]" if w.get("backend") else "")
+                + (
+                    f" [fallback: {w.get('backend_fallback')}]"
+                    if w.get("backend_fallback")
+                    else ""
+                )
                 + (f" ({w.get('cause')})" if w.get("state") == "dead" else "")
                 for w in self.workers
             )

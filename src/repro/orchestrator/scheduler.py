@@ -231,10 +231,23 @@ def _execute_cell_group(
         _, source, graph_seconds = resolve_graph(code, scale, handle)
     except BaseException:  # cells fall back to their own load path
         source, graph_seconds = "unresolved", 0.0
+    from ..sim import backend as kernel_backend
+
+    kernel_backend.activate(None)
+    resolution = kernel_backend.resolution()
     worker = {
         "pid": os.getpid(),
         "dataset_source": source,
         "graph_seconds": round(graph_seconds, 6),
+        # The backend this worker process resolved (the fallback
+        # warning fires once per process and is lost in pool workers;
+        # the manifest keeps the resolution auditable per cell).
+        "backend": resolution["resolved"],
+        **(
+            {"backend_fallback": resolution["fallback"]}
+            if resolution["fallback"]
+            else {}
+        ),
     }
     results = []
     for payload in payloads:

@@ -27,6 +27,7 @@ from ..errors import SimulationError
 from ..graph.csr import GRAPH_REGION_BASE, VERTEX_BYTES, CSRGraph
 from ..mining.tree import SearchContext
 from ..patterns.schedule import MatchingSchedule
+from .backend.macro import build_macro
 from .config import DEFAULT_CONFIG, SimConfig
 from .engine import Engine
 from .memory import MemorySystem
@@ -89,6 +90,10 @@ class Accelerator:
         # cohort completions and metrics collection sweep the columns.
         self.pe_state = PEStateVector(config.num_pes, schedule.depth)
         self.pes: List[PE] = [PE(i, self, factory) for i in range(config.num_pes)]
+        # Macro-step engine core: binds every PE's fast path to the
+        # active backend (None = per-event booking; see
+        # sim/backend/macro.py for the escape protocol).
+        self.macro = build_macro(self)
         self._roots: Deque[int] = deque()
         self._pe_roots: List[Deque[int]] = [deque() for _ in self.pes]
         self._static_dispatch = config.root_dispatch == "static"
@@ -251,18 +256,18 @@ class Accelerator:
             window = self.memory.l1_windows[i]
             pm = PEMetrics(
                 pe_id=i,
-                tasks_executed=state.tasks_executed[i],
-                matches=state.matches[i],
+                tasks_executed=int(state.tasks_executed[i]),
+                matches=int(state.matches[i]),
                 trees_completed=pe.policy.trees_completed,
-                busy_slot_cycles=state.busy_slot_cycles[i],
-                idle_with_work_cycles=state.idle_with_work_cycles[i],
-                finish_cycle=state.finish_cycle[i],
+                busy_slot_cycles=float(state.busy_slot_cycles[i]),
+                idle_with_work_cycles=float(state.idle_with_work_cycles[i]),
+                finish_cycle=float(state.finish_cycle[i]),
                 iu_busy_cycles=pe.iu_pool.busy_cycles,
                 iu_utilization=pe.iu_pool.utilization(cycles),
                 l1_hits=l1.hits,
                 l1_misses=l1.misses,
                 l1_avg_latency=window.lifetime_average,
-                tasks_per_depth=list(state.depth_executed[i]),
+                tasks_per_depth=[int(n) for n in state.depth_executed[i]],
             )
             policy = pe.policy
             if isinstance(policy, ShogunPolicy):
@@ -274,14 +279,14 @@ class Accelerator:
                     run.merges += policy.merger.merges
                     run.quiesces += policy.merger.quiesces
             run.per_pe.append(pm)
-            run.matches += state.matches[i]
-            run.tasks_executed += state.tasks_executed[i]
-            for d, n in enumerate(state.depth_executed[i]):
+            run.matches += pm.matches
+            run.tasks_executed += pm.tasks_executed
+            for d, n in enumerate(pm.tasks_per_depth):
                 run.tasks_per_depth[d] += n
             run.trees_completed += pe.policy.trees_completed
             total_iu_busy += pe.iu_pool.busy_cycles
-            total_busy_slots += state.busy_slot_cycles[i]
-            total_idle_with_work += state.idle_with_work_cycles[i]
+            total_busy_slots += pm.busy_slot_cycles
+            total_idle_with_work += pm.idle_with_work_cycles
 
         num_pes = len(self.pes)
         run.iu_utilization = total_iu_busy / (cycles * self.config.num_ius * num_pes)

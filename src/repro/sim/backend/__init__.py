@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Tuple
 
 from ...mining import setops as _setops
+from . import _loops
 from . import pure as _pure
 from .compiled import BackendUnavailable, KernelSet
 from .engine_loop import drain as engine_drain
@@ -55,6 +56,7 @@ __all__ = [
     "available_backends",
     "engine_drain",
     "instrument",
+    "resolution",
     "resolve_name",
 ]
 
@@ -74,6 +76,10 @@ def _make_pure() -> KernelSet:
         _pure.intersect_multi,
         _pure.span_resident_stamp,
         _pure.ema_fold,
+        # The interpreted reference of the macro-step core: slower than
+        # per-event booking, but lets the parity suite force the macro
+        # path under the pure backend (config.macro_step=True).
+        task_fastpath=_loops.task_fastpath_loop,
     )
 
 
@@ -124,6 +130,13 @@ def _install(kernels: KernelSet) -> None:
 _active: KernelSet = _get_instance("pure")
 _install(_active)
 
+#: How the most recent :func:`activate` resolved (see :func:`resolution`).
+_resolution: Dict[str, Optional[str]] = {
+    "requested": "auto",
+    "resolved": "pure",
+    "fallback": None,
+}
+
 
 def resolve_name(name: Optional[str] = None) -> str:
     """The backend name a request resolves to (before availability)."""
@@ -155,21 +168,41 @@ def activate(name: Optional[str] = None) -> KernelSet:
     one-time warning.  Idempotent and cheap when the resolution does
     not change.
     """
+    global _resolution
     requested = resolve_name(name)
     candidates = AUTO_ORDER if requested == "auto" else (requested,) + AUTO_ORDER
+    fallback: Optional[str] = None
     for idx, candidate in enumerate(candidates):
         try:
             kernels = _get_instance(candidate)
         except BackendUnavailable as exc:
             if idx == 0 and requested != "auto":
+                fallback = str(exc)
                 _warn_once(
                     f"backend {requested!r} unavailable ({exc}); falling back"
                 )
             continue
         if kernels is not _active:
             _install(kernels)
+        _resolution = {
+            "requested": requested,
+            "resolved": candidate,
+            "fallback": fallback,
+        }
         return kernels
     raise AssertionError("pure backend must always be constructible")
+
+
+def resolution() -> Dict[str, Optional[str]]:
+    """How the last :func:`activate` call resolved.
+
+    ``{"requested", "resolved", "fallback"}`` — ``fallback`` is the
+    unavailability detail when the explicit request could not be
+    honored, else ``None``.  Run manifests and distributed workers
+    record this so a silent cext→pure downgrade (the one-time warning
+    is easy to lose in worker processes) stays visible after the run.
+    """
+    return dict(_resolution)
 
 
 def active() -> KernelSet:

@@ -136,6 +136,368 @@ void repro_ema_fold(double *state, double alpha, double latency, int64_t n)
     state[1] = total;
 }
 
+/* Macro-step engine core: one task booked through every pipeline stage.
+ *
+ * C mirror of task_fastpath_loop in _loops.py — same statements, same
+ * double expressions in the same order, so the booked state is
+ * bit-identical to the Python per-event path.  One struct per PE holds
+ * pre-offset pointers into the owning objects' numpy storage plus the
+ * config scalars, so a call marshals only the per-task scalars.
+ *
+ * Returns 0 (complete, result[0] = completion time), 1 (partial —
+ * output span not L1-resident; committed through IU service, result[0]
+ * = post-IU time), or a negative escape having mutated nothing:
+ * -3 vertex L1 miss, -4 intermediate-span L1 miss, -5 graph L2 miss.
+ */
+typedef struct {
+    double *decode_free;     /* 1-elem views into the PE's state row */
+    double *dispatch_free;
+    double *issue_free;
+    double *spawn_free;
+    int64_t *l1_tags;        /* this PE's L1: tags/stamps/meta */
+    int64_t *l1_stamps;
+    int64_t *l1_meta;        /* [tick, hits, misses] */
+    int64_t l1_sets;
+    int64_t l1_assoc;
+    double *l1_window;       /* latency window [value, total, samples] */
+    int64_t *l2_tags;        /* shared L2 */
+    int64_t *l2_stamps;
+    int64_t *l2_meta;
+    int64_t l2_sets;
+    int64_t l2_assoc;
+    double *bank_free;       /* shared L2 bank free times */
+    int64_t nbanks;
+    int64_t *mem_stats;      /* [graph_line_fetches, intermediate_line_fetches] */
+    double *iu_free;         /* this PE's IU pool server frees */
+    int64_t num_ius;
+    double *iu_acc;          /* [max_free, busy_cycles, segments_processed] */
+    int64_t *spans;          /* shared span marshalling buffer */
+    double *result;          /* shared [time, unused] */
+    double unit_interval;
+    double decode_cycles;
+    double dispatch_cycles;
+    double post_spawn_cycles;
+    double leaf_cycles;
+    double l1_hit;
+    double l2_hit;
+    double l2_service;
+    double hop;
+    double alpha;
+    double segment_cycles;
+    double num_dividers;
+    int64_t fetch_ports;
+    int64_t stream_ok;
+} repro_core_t;
+
+int64_t repro_task_fastpath(repro_core_t *c, double now, int64_t is_leaf,
+                            int64_t vertex_line,
+                            int64_t inter_first, int64_t inter_last,
+                            int64_t out_first, int64_t out_last,
+                            int64_t out_count, int64_t segments,
+                            int64_t nspans)
+{
+    const int64_t l1_sets = c->l1_sets, l1_assoc = c->l1_assoc;
+    const int64_t l2_sets = c->l2_sets, l2_assoc = c->l2_assoc;
+    const int64_t ports = c->fetch_ports;
+    int64_t base, way, addr, s;
+    int hit;
+
+    /* ------------------------------------------------------ probe */
+    if (vertex_line >= 0) {
+        base = (vertex_line % l1_sets) * l1_assoc;
+        hit = 0;
+        for (way = 0; way < l1_assoc; way++) {
+            if (c->l1_tags[base + way] == vertex_line) { hit = 1; break; }
+        }
+        if (!hit) return -3;
+    }
+    if (!is_leaf) {
+        if (inter_first >= 0) {
+            for (addr = inter_first; addr <= inter_last; addr++) {
+                base = (addr % l1_sets) * l1_assoc;
+                hit = 0;
+                for (way = 0; way < l1_assoc; way++) {
+                    if (c->l1_tags[base + way] == addr) { hit = 1; break; }
+                }
+                if (!hit) return -4;
+            }
+        }
+        for (s = 0; s < nspans; s++) {
+            for (addr = c->spans[2 * s]; addr <= c->spans[2 * s + 1]; addr++) {
+                base = (addr % l2_sets) * l2_assoc;
+                hit = 0;
+                for (way = 0; way < l2_assoc; way++) {
+                    if (c->l2_tags[base + way] == addr) { hit = 1; break; }
+                }
+                if (!hit) return -5;
+            }
+        }
+    }
+
+    /* ----------------------------------------------------- commit */
+    double free_t = c->decode_free[0];
+    double start = now >= free_t ? now : free_t;
+    c->decode_free[0] = start + c->unit_interval;
+    double t = start + c->decode_cycles;
+    free_t = c->dispatch_free[0];
+    start = t >= free_t ? t : free_t;
+    c->dispatch_free[0] = start + c->unit_interval;
+    t = start + c->dispatch_cycles;
+
+    if (vertex_line >= 0) {
+        c->mem_stats[1] += 1;
+        base = (vertex_line % l1_sets) * l1_assoc;
+        for (way = 0; way < l1_assoc; way++) {
+            if (c->l1_tags[base + way] == vertex_line) {
+                c->l1_stamps[base + way] = c->l1_meta[0];
+                break;
+            }
+        }
+        c->l1_meta[0] += 1;
+        c->l1_meta[1] += 1;
+        double finish = t + c->l1_hit;
+        if (finish > t) t = finish;
+    }
+
+    if (is_leaf) {
+        free_t = c->spawn_free[0];
+        double at = t + c->leaf_cycles;
+        start = at >= free_t ? at : free_t;
+        c->spawn_free[0] = start + c->unit_interval;
+        c->result[0] = start + c->post_spawn_cycles;
+        return 0;
+    }
+
+    double t_inter = t;
+    if (inter_first >= 0) {
+        int64_t n = inter_last - inter_first + 1;
+        int64_t tick = c->l1_meta[0];
+        for (addr = inter_first; addr <= inter_last; addr++) {
+            base = (addr % l1_sets) * l1_assoc;
+            for (way = 0; way < l1_assoc; way++) {
+                if (c->l1_tags[base + way] == addr) {
+                    c->l1_stamps[base + way] = tick++;
+                    break;
+                }
+            }
+        }
+        c->l1_meta[0] = tick;
+        c->l1_meta[1] += n;
+        c->mem_stats[1] += n;
+        double value = c->l1_window[0];
+        double total = c->l1_window[1];
+        for (int64_t i = 0; i < n; i++) {
+            value += c->alpha * (c->l1_hit - value);
+            total += c->l1_hit;
+        }
+        c->l1_window[0] = value;
+        c->l1_window[1] = total;
+        c->l1_window[2] += (double)n;
+        double finish = (t + (double)((n - 1) / ports)) + c->l1_hit;
+        t_inter = finish > t ? finish : t;
+    }
+
+    double t_graph = t;
+    if (nspans > 0) {
+        const int64_t nbanks = c->nbanks;
+        int64_t tick = c->l2_meta[0];
+        int64_t hits = 0;
+        double done = t;
+        int64_t i = 0;
+        for (s = 0; s < nspans; s++) {
+            int64_t first = c->spans[2 * s];
+            int64_t last = c->spans[2 * s + 1];
+            if (last == first) {
+                base = (first % l2_sets) * l2_assoc;
+                for (way = 0; way < l2_assoc; way++) {
+                    if (c->l2_tags[base + way] == first) {
+                        c->l2_stamps[base + way] = tick++;
+                        break;
+                    }
+                }
+                hits += 1;
+                double issue = t + (double)(i / ports);
+                double arrive = issue + c->hop;
+                int64_t bank = first % nbanks;
+                double queued = c->bank_free[bank];
+                double st = queued >= arrive ? queued : arrive;
+                c->bank_free[bank] = st + c->l2_service;
+                double back = st + c->l2_hit + c->hop;
+                if (back > done) done = back;
+                i += 1;
+                continue;
+            }
+            int64_t n = last - first + 1;
+            for (addr = first; addr <= last; addr++) {
+                base = (addr % l2_sets) * l2_assoc;
+                for (way = 0; way < l2_assoc; way++) {
+                    if (c->l2_tags[base + way] == addr) {
+                        c->l2_stamps[base + way] = tick++;
+                        break;
+                    }
+                }
+            }
+            hits += n;
+            int64_t bank = first % nbanks;
+            int64_t head = (c->stream_ok && n > nbanks) ? nbanks : n;
+            int streaming = 1;
+            for (int64_t h = 0; h < head; h++) {
+                double issue = t + (double)(i / ports);
+                double arrive = issue + c->hop;
+                double queued = c->bank_free[bank];
+                double st;
+                if (queued >= arrive) {
+                    st = queued;
+                    if (queued > arrive) streaming = 0;
+                } else {
+                    st = arrive;
+                }
+                c->bank_free[bank] = st + c->l2_service;
+                double back = st + c->l2_hit + c->hop;
+                if (back > done) done = back;
+                i += 1;
+                bank += 1;
+                if (bank == nbanks) bank = 0;
+            }
+            int64_t rest = n - head;
+            if (rest > 0) {
+                if (streaming) {
+                    int64_t last_k = i + rest - 1;
+                    double back =
+                        ((t + (double)(last_k / ports)) + c->hop)
+                        + c->l2_hit + c->hop;
+                    if (back > done) done = back;
+                    int64_t lim = rest < nbanks ? rest : nbanks;
+                    for (int64_t h = 0; h < lim; h++) {
+                        double arrive =
+                            (t + (double)(last_k / ports)) + c->hop;
+                        int64_t b = (first + (last_k - i) + head) % nbanks;
+                        c->bank_free[b] = arrive + c->l2_service;
+                        last_k -= 1;
+                    }
+                    i += rest;
+                } else {
+                    for (int64_t h = 0; h < rest; h++) {
+                        double issue = t + (double)(i / ports);
+                        double arrive = issue + c->hop;
+                        double queued = c->bank_free[bank];
+                        double st = queued >= arrive ? queued : arrive;
+                        c->bank_free[bank] = st + c->l2_service;
+                        double back = st + c->l2_hit + c->hop;
+                        if (back > done) done = back;
+                        i += 1;
+                        bank += 1;
+                        if (bank == nbanks) bank = 0;
+                    }
+                }
+            }
+        }
+        c->l2_meta[0] = tick;
+        c->l2_meta[1] += hits;
+        c->mem_stats[0] += i;
+        t_graph = done;
+    }
+
+    double ready = t_inter >= t_graph ? t_inter : t_graph;
+    free_t = c->issue_free[0];
+    start = ready >= free_t ? ready : free_t;
+    c->issue_free[0] = start + c->unit_interval;
+    double ready_time = start + 1.0;
+    if (segments <= 0) {
+        t = ready_time;
+    } else {
+        double formed = ready_time + (double)segments / c->num_dividers;
+        const int64_t k = c->num_ius;
+        const double cy = c->segment_cycles;
+        double finish;
+        if (c->iu_acc[0] <= formed) {
+            int64_t q = segments / k;
+            int64_t r = segments - q * k;
+            double done;
+            if (q == 0) {
+                /* done exceeds every entry, so iterated argmin-
+                 * overwrite replaces exactly the `segments` smallest. */
+                done = formed + cy;
+                for (int64_t m = 0; m < segments; m++) {
+                    int64_t mi = 0;
+                    double mv = c->iu_free[0];
+                    for (int64_t j = 1; j < k; j++) {
+                        if (c->iu_free[j] < mv) { mv = c->iu_free[j]; mi = j; }
+                    }
+                    c->iu_free[mi] = done;
+                }
+                finish = done;
+            } else {
+                done = formed;
+                for (int64_t m = 0; m < q; m++) done = done + cy;
+                if (r > 0) {
+                    finish = done + cy;
+                    for (int64_t j = 0; j < k - r; j++) c->iu_free[j] = done;
+                    for (int64_t j = k - r; j < k; j++) c->iu_free[j] = finish;
+                } else {
+                    finish = done;
+                    for (int64_t j = 0; j < k; j++) c->iu_free[j] = done;
+                }
+            }
+            c->iu_acc[0] = finish;
+        } else {
+            finish = formed;
+            for (int64_t m = 0; m < segments; m++) {
+                int64_t mi = 0;
+                double mv = c->iu_free[0];
+                for (int64_t j = 1; j < k; j++) {
+                    if (c->iu_free[j] < mv) { mv = c->iu_free[j]; mi = j; }
+                }
+                double fv = c->iu_free[mi];
+                double st = fv >= formed ? fv : formed;
+                double done = st + cy;
+                c->iu_free[mi] = done;
+                if (done > finish) finish = done;
+            }
+            if (finish > c->iu_acc[0]) c->iu_acc[0] = finish;
+        }
+        c->iu_acc[1] += (double)segments * cy;
+        c->iu_acc[2] += (double)segments;
+        t = finish;
+    }
+
+    if (out_count > 0) {
+        int resident = 1;
+        for (addr = out_first; addr <= out_last; addr++) {
+            base = (addr % l1_sets) * l1_assoc;
+            hit = 0;
+            for (way = 0; way < l1_assoc; way++) {
+                if (c->l1_tags[base + way] == addr) { hit = 1; break; }
+            }
+            if (!hit) { resident = 0; break; }
+        }
+        if (!resident) {
+            c->result[0] = t;
+            return 1;
+        }
+        /* All-resident writeback: pure LRU refresh, no hits counted. */
+        int64_t tick = c->l1_meta[0];
+        for (addr = out_first; addr <= out_last; addr++) {
+            base = (addr % l1_sets) * l1_assoc;
+            for (way = 0; way < l1_assoc; way++) {
+                if (c->l1_tags[base + way] == addr) {
+                    c->l1_stamps[base + way] = tick++;
+                    break;
+                }
+            }
+        }
+        c->l1_meta[0] = tick;
+        double wb = (double)out_count / (double)ports;
+        t += wb > 1.0 ? wb : 1.0;
+    }
+
+    free_t = c->spawn_free[0];
+    start = t >= free_t ? t : free_t;
+    c->spawn_free[0] = start + c->unit_interval;
+    c->result[0] = start + c->post_spawn_cycles;
+    return 0;
+}
+
 """
 
 CDEF = """
@@ -147,6 +509,51 @@ int repro_resident_stamp(const int64_t *tags, int64_t *stamps,
                          int64_t num_sets, int64_t assoc,
                          int64_t first_line, int64_t last_line, int64_t tick);
 void repro_ema_fold(double *state, double alpha, double latency, int64_t n);
+typedef struct {
+    double *decode_free;
+    double *dispatch_free;
+    double *issue_free;
+    double *spawn_free;
+    int64_t *l1_tags;
+    int64_t *l1_stamps;
+    int64_t *l1_meta;
+    int64_t l1_sets;
+    int64_t l1_assoc;
+    double *l1_window;
+    int64_t *l2_tags;
+    int64_t *l2_stamps;
+    int64_t *l2_meta;
+    int64_t l2_sets;
+    int64_t l2_assoc;
+    double *bank_free;
+    int64_t nbanks;
+    int64_t *mem_stats;
+    double *iu_free;
+    int64_t num_ius;
+    double *iu_acc;
+    int64_t *spans;
+    double *result;
+    double unit_interval;
+    double decode_cycles;
+    double dispatch_cycles;
+    double post_spawn_cycles;
+    double leaf_cycles;
+    double l1_hit;
+    double l2_hit;
+    double l2_service;
+    double hop;
+    double alpha;
+    double segment_cycles;
+    double num_dividers;
+    int64_t fetch_ports;
+    int64_t stream_ok;
+} repro_core_t;
+int64_t repro_task_fastpath(repro_core_t *c, double now, int64_t is_leaf,
+                            int64_t vertex_line,
+                            int64_t inter_first, int64_t inter_last,
+                            int64_t out_first, int64_t out_last,
+                            int64_t out_count, int64_t segments,
+                            int64_t nspans);
 """
 
 CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
@@ -417,6 +824,105 @@ class _CLib:
             latency,
             n,
         )
+
+    def macro_bind(self, accel, spans, result):
+        """Per-PE macro-step bindings: ``repro_core_t`` structs with
+        pre-offset pointers into the live numpy state, so a fast-path
+        call marshals ten scalars and nothing else.
+
+        ``from_buffer`` pins each array; the cdata pointers (and the
+        structs) ride in every closure's defaults, so the bindings keep
+        the state alive exactly as long as the accelerator's PEs hold
+        the closures.
+        """
+        ffi = self._ffi
+        fastpath = self._lib.repro_task_fastpath
+        f64 = ffi.typeof("double *")
+        i64 = self._i64
+        keep = []
+
+        def fp(arr):
+            p = ffi.from_buffer(f64, arr, require_writable=True)
+            keep.append(p)
+            return p
+
+        def ip(arr):
+            p = ffi.from_buffer(i64, arr, require_writable=True)
+            keep.append(p)
+            return p
+
+        memory = accel.memory
+        config = accel.config
+        state = accel.pe_state
+        l2 = memory.l2
+        decode_p = fp(state.decode_free)
+        dispatch_p = fp(state.dispatch_free)
+        issue_p = fp(state.issue_free)
+        spawn_p = fp(state.spawn_free)
+        l2_tags_p = ip(l2._tags)
+        l2_stamps_p = ip(l2._stamps)
+        l2_meta_p = ip(l2._meta)
+        bank_p = fp(memory._l2_bank_free)
+        stats_p = ip(memory._stats)
+        spans_p = ip(spans)
+        result_p = fp(result)
+        books = []
+        for pe in accel.pes:
+            row = pe._row
+            l1 = memory.l1s[pe.pe_id]
+            window = memory.l1_windows[pe.pe_id]
+            core = ffi.new("repro_core_t *")
+            core.decode_free = decode_p + row
+            core.dispatch_free = dispatch_p + row
+            core.issue_free = issue_p + row
+            core.spawn_free = spawn_p + row
+            core.l1_tags = ip(l1._tags)
+            core.l1_stamps = ip(l1._stamps)
+            core.l1_meta = ip(l1._meta)
+            core.l1_sets = l1.num_sets
+            core.l1_assoc = l1.assoc
+            core.l1_window = fp(window._state)
+            core.l2_tags = l2_tags_p
+            core.l2_stamps = l2_stamps_p
+            core.l2_meta = l2_meta_p
+            core.l2_sets = l2.num_sets
+            core.l2_assoc = l2.assoc
+            core.bank_free = bank_p
+            core.nbanks = memory._l2_bank_free.shape[0]
+            core.mem_stats = stats_p
+            core.iu_free = fp(pe.iu_pool._server_free)
+            core.num_ius = pe.iu_pool._server_free.shape[0]
+            core.iu_acc = fp(pe.iu_pool._acc)
+            core.spans = spans_p
+            core.result = result_p
+            core.unit_interval = pe._unit_interval
+            core.decode_cycles = float(config.decode_cycles)
+            core.dispatch_cycles = float(config.dispatch_cycles)
+            core.post_spawn_cycles = float(pe._post_spawn_cycles)
+            core.leaf_cycles = float(config.leaf_cycles)
+            core.l1_hit = memory._l1_hit_cycles_f
+            core.l2_hit = float(config.l2_hit_cycles)
+            core.l2_service = float(config.l2_service_cycles)
+            core.hop = float(memory._hop_cycles)
+            core.alpha = window.alpha
+            core.segment_cycles = float(config.segment_cycles)
+            core.num_dividers = float(config.num_dividers)
+            core.fetch_ports = int(config.fetch_ports)
+            core.stream_ok = 1 if memory._l2_stream_ok else 0
+
+            def book(
+                now, is_leaf, vertex_line, inter_first, inter_last,
+                out_first, out_last, out_count, segments, nspans,
+                _fp=fastpath, _core=core, _keep=keep,
+            ):
+                return _fp(
+                    _core, now, is_leaf, vertex_line, inter_first,
+                    inter_last, out_first, out_last, out_count,
+                    segments, nspans,
+                )
+
+            books.append(book)
+        return books
 
 
 def make_kernels():

@@ -43,7 +43,8 @@ class KernelSet:
     """
 
     def __init__(self, name, compiled, intersect, subtract, intersect_multi,
-                 span_resident_stamp, ema_fold):
+                 span_resident_stamp, ema_fold,
+                 task_fastpath=None, macro_bind=None):
         self.name = name
         self.compiled = compiled
         self.intersect = intersect
@@ -51,6 +52,15 @@ class KernelSet:
         self.intersect_multi = intersect_multi
         self.span_resident_stamp = span_resident_stamp
         self.ema_fold = ema_fold
+        #: Macro-step fast-path loop with the :func:`._loops
+        #: .task_fastpath_loop` signature (interpreted for pure, jitted
+        #: for numba); ``None`` when the backend binds at a lower level.
+        self.task_fastpath = task_fastpath
+        #: Backend-native per-PE binder ``(accel, spans, result) ->
+        #: [book, ...]`` (the C extension pre-marshals pointers into
+        #: per-PE structs); ``None`` to bind ``task_fastpath`` through
+        #: the generic numpy-view binder in :mod:`.macro`.
+        self.macro_bind = macro_bind
 
     #: Kernel attributes eligible for per-kernel instrumentation.
     KERNELS = (
@@ -163,4 +173,6 @@ def make_kernel_set(name: str, lib) -> KernelSet:
     return KernelSet(
         name, True, intersect, subtract, intersect_multi,
         span_resident_stamp, ema_fold,
+        task_fastpath=getattr(lib, "task_fastpath_loop", None),
+        macro_bind=getattr(lib, "macro_bind", None),
     )

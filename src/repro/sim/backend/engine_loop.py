@@ -1,11 +1,16 @@
 """The event-drain inner loop, extracted from ``sim/engine.py``.
 
-This is the third kernel the backend interface names — but unlike the
-set/span kernels it has exactly one implementation, shared by every
-backend: each drained event runs an arbitrary Python callback (policy
-hooks, task completions), so there is nothing for a compiled backend to
-execute without calling straight back into the interpreter.  What the
-extraction buys instead:
+Unlike the set/span kernels this loop has exactly one implementation,
+shared by every backend: each drained event runs an arbitrary Python
+callback (policy hooks, task completions), so the loop *itself* cannot
+move to C.  What moves to C instead is the work **between** the two
+events a task costs: under a compiled backend the macro-step core
+(:mod:`repro.sim.backend.macro`) drains a task's whole booking — the
+dozen stages the start event used to walk through Python — in one
+``task_fastpath`` call, escaping back to the per-event path only when
+a precondition fails.  This loop then sees exactly two events per task
+either way; the macro core changes what the start event *does*, never
+what this loop observes.  What the extraction buys:
 
 * the loop handles *typed events* — ``(owner, payload)`` tuples posted
   by :meth:`Engine.post` — without allocating a closure per event, and

@@ -36,6 +36,9 @@ class _JittedLib:
         self.subtract_loop = jit(_loops.subtract_loop)
         self.resident_stamp_loop = jit(_loops.resident_stamp_loop)
         self.ema_fold_loop = jit(_loops.ema_fold_loop)
+        # Macro-step core: bound per PE by the generic numpy-view
+        # binder in .macro (the jitted signature matches _loops).
+        self.task_fastpath_loop = jit(_loops.task_fastpath_loop)
 
     def intersect_multi_loop(self, arrays, out, scratch):
         """Chained pairwise intersections, ping-ponging out/scratch.

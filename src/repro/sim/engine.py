@@ -25,10 +25,14 @@ Two event shapes share the queue:
   cohorts advance through the PE state vector in one call.
 
 The drain inner loop itself lives in
-:mod:`repro.sim.backend.engine_loop` — it is one of the kernels the
-backend interface names, shared by every backend (each drained event
-runs arbitrary Python, so there is nothing for a compiled backend to
-run without calling straight back into the interpreter).
+:mod:`repro.sim.backend.engine_loop`, shared by every backend — each
+drained event runs arbitrary Python, so the loop cannot move to C.
+What does move to C under a compiled backend is the booking *between*
+a task's two events: the macro-step core
+(:mod:`repro.sim.backend.macro`) collapses the start event's whole
+pipeline walk into one compiled call with a typed escape back to the
+per-event path, leaving this queue's event count and ordering exactly
+as before.
 """
 
 from __future__ import annotations

@@ -8,12 +8,17 @@ submits all segments of one set operation at once and completes when its
 last segment drains.  Contention between concurrently executing tasks —
 the thing task scheduling actually changes — emerges from the shared
 server pool.
+
+The server-free times live in a numpy ``float64`` array (with the
+running accounting in a 3-slot ``_acc`` array) so the compiled
+macro-step core can pin the same storage and advance the pool without a
+Python round trip; see ``sim/backend/_loops.task_fastpath_loop`` for the
+mirrored arithmetic.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import List
+import numpy as np
 
 from ..errors import ConfigError
 
@@ -26,9 +31,7 @@ class IUPool:
         "segment_cycles",
         "num_dividers",
         "_server_free",
-        "_max_free",
-        "busy_cycles",
-        "segments_processed",
+        "_acc",
     )
 
     def __init__(self, num_ius: int, segment_cycles: float, num_dividers: int) -> None:
@@ -37,11 +40,38 @@ class IUPool:
         self.num_ius = num_ius
         self.segment_cycles = float(segment_cycles)
         self.num_dividers = num_dividers
-        self._server_free: List[float] = [0.0] * num_ius
-        heapq.heapify(self._server_free)
-        self._max_free = 0.0
-        self.busy_cycles = 0.0
-        self.segments_processed = 0
+        self._server_free = np.zeros(num_ius, dtype=np.float64)
+        #: [max_free, busy_cycles, segments_processed] — one array so the
+        #: compiled core updates all three through a single pointer.
+        self._acc = np.zeros(3, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # The accounting lives in ``_acc`` so the compiled core can mutate it
+    # in place; these properties keep the public API (and its Python
+    # float/int types) unchanged.
+    @property
+    def _max_free(self) -> float:
+        return float(self._acc[0])
+
+    @_max_free.setter
+    def _max_free(self, value: float) -> None:
+        self._acc[0] = value
+
+    @property
+    def busy_cycles(self) -> float:
+        return float(self._acc[1])
+
+    @busy_cycles.setter
+    def busy_cycles(self, value: float) -> None:
+        self._acc[1] = value
+
+    @property
+    def segments_processed(self) -> int:
+        return int(self._acc[2])
+
+    @segments_processed.setter
+    def segments_processed(self, value: int) -> None:
+        self._acc[2] = value
 
     def submit(self, segments: int, ready_time: float) -> float:
         """Run ``segments`` segment jobs starting no earlier than ``ready_time``.
@@ -51,64 +81,71 @@ class IUPool:
         segments complete immediately (a pure-fetch task).
 
         When every server is already free at ``formed`` (the common case —
-        task issue is spread out relative to segment service), the FCFS
-        pop/push loop degenerates to round-robin: with ``k`` servers and
+        task issue is spread out relative to segment service), FCFS
+        assignment degenerates to round-robin: with ``k`` servers and
         ``m`` segments, ``m % k`` servers run ``m // k + 1`` back-to-back
         segments and the rest one fewer, every finish time being the
-        repeated sum ``formed + c + c + ...`` the loop would compute.  The
-        fast path writes that final server state directly (a sorted list
-        is a valid min-heap); the heap loop remains for the contended
-        case and as the oracle in ``tests/test_sim_fu.py``.
+        repeated sum ``formed + c + c + ...`` the general loop would
+        accumulate.  The fast path writes that final server state
+        directly; the contended path assigns each segment to the
+        least-loaded server (argmin), which is observationally identical
+        to the historical min-heap pop/push — only the multiset of free
+        times is ever observed, and pop-min ≡ argmin on values.
 
-        ``_max_free`` caches ``max(_server_free)`` exactly so the common
+        ``_acc[0]`` caches ``max(_server_free)`` exactly so the common
         path never scans the pool.  The fast path leaves every server at
-        ``done``/``finish``; the heap path only pops minima, so its new
-        maximum is ``max(old max, finish)`` — if the old maximum was
-        popped, its replacement (and hence ``finish``) exceeds it.
+        ``done``/``finish``; the argmin path only advances minima, so its
+        new maximum is ``max(old max, finish)`` — if the old maximum was
+        overwritten, its replacement (and hence ``finish``) exceeds it.
         """
         if segments <= 0:
             return ready_time
         formed = ready_time + segments / self.num_dividers
         servers = self._server_free
         c = self.segment_cycles
-        if self._max_free <= formed:
+        acc = self._acc
+        if acc[0] <= formed:
             k = self.num_ius
             q, r = divmod(segments, k)
             if q == 0:
-                # Only the `segments` least-loaded servers are touched.
+                # Only the `segments` least-loaded servers are touched;
+                # done exceeds every current entry, so value-multiset-wise
+                # this is "replace the `segments` smallest with done".
                 done = formed + c
-                servers.sort()
-                del servers[:segments]
-                servers += [done] * segments
+                if segments < k:
+                    idx = np.argpartition(servers, segments - 1)[:segments]
+                    servers[idx] = done
+                else:
+                    servers[:] = done
                 finish = done
             else:
                 # Chain values by repeated addition, exactly as the
-                # pop/push loop would accumulate them.
+                # FCFS loop would accumulate them.
                 done = formed
                 for _ in range(q):
                     done = done + c
                 if r:
                     finish = done + c
-                    self._server_free = [done] * (k - r) + [finish] * r
+                    servers[: k - r] = done
+                    servers[k - r :] = finish
                 else:
                     finish = done
-                    self._server_free = [done] * k
-            self._max_free = finish
+                    servers[:] = done
+            acc[0] = finish
         else:
             finish = formed
-            heappop = heapq.heappop
-            heappush = heapq.heappush
             for _ in range(segments):
-                free = heappop(servers)
+                i = int(np.argmin(servers))
+                free = float(servers[i])
                 start = free if free >= formed else formed
                 done = start + c
-                heappush(servers, done)
+                servers[i] = done
                 if done > finish:
                     finish = done
-            if finish > self._max_free:
-                self._max_free = finish
-        self.busy_cycles += segments * c
-        self.segments_processed += segments
+            if finish > acc[0]:
+                acc[0] = finish
+        acc[1] += segments * c
+        acc[2] += segments
         return finish
 
     def utilization(self, elapsed_cycles: float) -> float:

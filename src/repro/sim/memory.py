@@ -115,9 +115,7 @@ class Cache:
         "_stamps",
         "_fill",
         "_where",
-        "_tick",
-        "hits",
-        "misses",
+        "_meta",
         "evictions",
     )
 
@@ -135,10 +133,39 @@ class Cache:
         self._stamps = np.zeros(self.num_sets * assoc, dtype=np.int64)
         self._fill: List[int] = [0] * self.num_sets
         self._where: Dict[int, int] = {}
-        self._tick = 0
-        self.hits = 0
-        self.misses = 0
+        #: [tick, hits, misses] — one int64 array so the compiled
+        #: macro-step core can restamp hits and advance the LRU clock
+        #: through a single pinned pointer.
+        self._meta = np.zeros(3, dtype=np.int64)
         self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # The LRU clock and hit/miss counters live in ``_meta``; these
+    # properties keep the historical attribute API (Python ints in,
+    # Python ints out) for every interpreted caller.
+    @property
+    def _tick(self) -> int:
+        return int(self._meta[0])
+
+    @_tick.setter
+    def _tick(self, value: int) -> None:
+        self._meta[0] = value
+
+    @property
+    def hits(self) -> int:
+        return int(self._meta[1])
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._meta[1] = value
+
+    @property
+    def misses(self) -> int:
+        return int(self._meta[2])
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._meta[2] = value
 
     def lookup(self, line_addr: int) -> bool:
         """Access a line: returns hit/miss and refreshes LRU order."""
@@ -315,7 +342,7 @@ class Cache:
         self._stamps.fill(0)
         self._fill = [0] * self.num_sets
         self._where.clear()
-        self._tick = 0
+        self._meta[0] = 0
 
     @property
     def accesses(self) -> int:
@@ -443,19 +470,46 @@ class PELatencyWindow:
     access pattern calms down, without storing per-epoch histograms.
     """
 
-    __slots__ = ("alpha", "value", "samples", "total_latency")
+    __slots__ = ("alpha", "_state")
 
     def __init__(self, alpha: float = 0.02, initial: float = 2.0) -> None:
         self.alpha = alpha
-        self.value = initial
-        self.samples = 0
-        self.total_latency = 0.0
+        #: [value, total_latency, samples] — one float64 array so the
+        #: compiled macro-step core folds latencies in place.
+        self._state = np.zeros(3, dtype=np.float64)
+        self._state[0] = initial
+
+    @property
+    def value(self) -> float:
+        return float(self._state[0])
+
+    @value.setter
+    def value(self, v: float) -> None:
+        self._state[0] = v
+
+    @property
+    def total_latency(self) -> float:
+        return float(self._state[1])
+
+    @total_latency.setter
+    def total_latency(self, v: float) -> None:
+        self._state[1] = v
+
+    @property
+    def samples(self) -> int:
+        return int(self._state[2])
+
+    @samples.setter
+    def samples(self, v: int) -> None:
+        self._state[2] = v
 
     def record(self, latency: float) -> None:
         """Fold one access latency into the moving average."""
-        self.value += self.alpha * (latency - self.value)
-        self.samples += 1
-        self.total_latency += latency
+        state = self._state
+        value = float(state[0])
+        state[0] = value + self.alpha * (latency - value)
+        state[2] += 1.0
+        state[1] += latency
 
     @property
     def lifetime_average(self) -> float:
@@ -489,7 +543,7 @@ class MemorySystem:
             line,
         )
         self.l1_windows = [PELatencyWindow(initial=float(config.l1_hit_cycles)) for _ in range(pes)]
-        self._l2_bank_free = [0.0] * max(1, config.l2_banks)
+        self._l2_bank_free = np.zeros(max(1, config.l2_banks), dtype=np.float64)
         # Hot-path constants (attribute chains hoisted out of the
         # per-fetch preludes).
         self._l1_hit_cycles_f = float(config.l1_hit_cycles)
@@ -506,8 +560,25 @@ class MemorySystem:
         self._l2_stream_ok = float(config.l2_service_cycles) < (
             len(self._l2_bank_free) // max(1, config.fetch_ports)
         )
-        self.graph_line_fetches = 0
-        self.intermediate_line_fetches = 0
+        #: [graph_line_fetches, intermediate_line_fetches] — one int64
+        #: array so the compiled macro-step core counts lines in place.
+        self._stats = np.zeros(2, dtype=np.int64)
+
+    @property
+    def graph_line_fetches(self) -> int:
+        return int(self._stats[0])
+
+    @graph_line_fetches.setter
+    def graph_line_fetches(self, value: int) -> None:
+        self._stats[0] = value
+
+    @property
+    def intermediate_line_fetches(self) -> int:
+        return int(self._stats[1])
+
+    @intermediate_line_fetches.setter
+    def intermediate_line_fetches(self, value: int) -> None:
+        self._stats[1] = value
 
     # ------------------------------------------------------------------
     def line_span(self, base: int, num_bytes: int) -> Optional[Tuple[int, int]]:
@@ -537,7 +608,8 @@ class MemorySystem:
         scales with ``l2_banks``.
         """
         bank = int(line_addr) % len(self._l2_bank_free)
-        start = max(self._l2_bank_free[bank], arrive)
+        queued = float(self._l2_bank_free[bank])
+        start = queued if queued >= arrive else arrive
         self._l2_bank_free[bank] = start + self.config.l2_service_cycles
         done = start + self.config.l2_hit_cycles
         if not self.l2.lookup(line_addr):
@@ -766,7 +838,7 @@ class MemorySystem:
                     issue = now + i // ports
                     arrive = issue + hop
                     bank = first_line % nbanks
-                    queued = bank_free[bank]
+                    queued = float(bank_free[bank])
                     start = queued if queued >= arrive else arrive
                     bank_free[bank] = start + l2_service
                     back = start + l2_hit + hop
@@ -797,7 +869,7 @@ class MemorySystem:
                 for _ in range(head):
                     issue = now + i // ports
                     arrive = issue + hop
-                    queued = bank_free[bank]
+                    queued = float(bank_free[bank])
                     if queued >= arrive:
                         start = queued
                         if queued > arrive:
@@ -836,7 +908,7 @@ class MemorySystem:
                         for _ in range(rest):
                             issue = now + i // ports
                             arrive = issue + hop
-                            queued = bank_free[bank]
+                            queued = float(bank_free[bank])
                             start = queued if queued >= arrive else arrive
                             bank_free[bank] = start + l2_service
                             back = start + l2_hit + hop
@@ -855,7 +927,7 @@ class MemorySystem:
                 issue = now + i // ports
                 arrive = issue + hop
                 bank = addr % nbanks
-                queued = bank_free[bank]
+                queued = float(bank_free[bank])
                 start = queued if queued >= arrive else arrive
                 bank_free[bank] = start + l2_service
                 slot = where_get(addr)
@@ -897,7 +969,7 @@ class MemorySystem:
             issue = now + i // ports
             arrive = issue + hop
             bank = int(addr) % nbanks
-            queued = bank_free[bank]
+            queued = float(bank_free[bank])
             start = queued if queued >= arrive else arrive
             bank_free[bank] = start + l2_service
             slot = where_get(addr)

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.task import SimTask, TaskState
 from ..core.tokens import SetBufferMap
 from ..errors import SimulationError
@@ -78,23 +80,27 @@ class PEStateVector:
 
     def __init__(self, num_pes: int, depth: int) -> None:
         self.num_pes = num_pes
-        # Pipeline units: one task entry per cycle each.
-        self.decode_free = [0.0] * num_pes
-        self.dispatch_free = [0.0] * num_pes
-        self.issue_free = [0.0] * num_pes
-        self.spawn_free = [0.0] * num_pes
-        self.slots_used = [0] * num_pes
-        self.tasks_executed = [0] * num_pes
-        self.matches = [0] * num_pes
+        # Pipeline units: one task entry per cycle each.  Numpy storage
+        # (rather than Python lists) lets the compiled macro-step core
+        # pin per-PE element pointers and book stages without a Python
+        # round trip; interpreted readers cast on access so Python-float
+        # arithmetic stays exact on the fallback paths.
+        self.decode_free = np.zeros(num_pes, dtype=np.float64)
+        self.dispatch_free = np.zeros(num_pes, dtype=np.float64)
+        self.issue_free = np.zeros(num_pes, dtype=np.float64)
+        self.spawn_free = np.zeros(num_pes, dtype=np.float64)
+        self.slots_used = np.zeros(num_pes, dtype=np.int64)
+        self.tasks_executed = np.zeros(num_pes, dtype=np.int64)
+        self.matches = np.zeros(num_pes, dtype=np.int64)
         # Tasks whose working set exceeded the SPM share (ran >1 round).
         # Diagnostic only — not part of RunMetrics.
-        self.multi_round_tasks = [0] * num_pes
-        self.finish_cycle = [0.0] * num_pes
+        self.multi_round_tasks = np.zeros(num_pes, dtype=np.int64)
+        self.finish_cycle = np.zeros(num_pes, dtype=np.float64)
         # Slot-occupancy integrals.
-        self.last_integrate = [0.0] * num_pes
-        self.busy_slot_cycles = [0.0] * num_pes
-        self.idle_with_work_cycles = [0.0] * num_pes
-        self.depth_executed = [[0] * depth for _ in range(num_pes)]
+        self.last_integrate = np.zeros(num_pes, dtype=np.float64)
+        self.busy_slot_cycles = np.zeros(num_pes, dtype=np.float64)
+        self.idle_with_work_cycles = np.zeros(num_pes, dtype=np.float64)
+        self.depth_executed = np.zeros((num_pes, depth), dtype=np.int64)
 
 
 class PE:
@@ -150,6 +156,11 @@ class PE:
 
         self._kick_pending = False
 
+        # Macro-step binding: set by the accelerator after all PEs are
+        # built (None = per-event booking).  Stand-alone PEs (unit
+        # tests with a stub accel) never get one.
+        self._macro = None
+
         # Windowed IU utilization for the locality monitor.
         self._iu_win_start = 0.0
         self._iu_win_busy = 0.0
@@ -164,7 +175,7 @@ class PE:
     # ------------------------------------------------------------------
     @property
     def slots_used(self) -> int:
-        return self._state.slots_used[self._row]
+        return int(self._state.slots_used[self._row])
 
     @slots_used.setter
     def slots_used(self, value: int) -> None:
@@ -172,7 +183,7 @@ class PE:
 
     @property
     def tasks_executed(self) -> int:
-        return self._state.tasks_executed[self._row]
+        return int(self._state.tasks_executed[self._row])
 
     @tasks_executed.setter
     def tasks_executed(self, value: int) -> None:
@@ -180,7 +191,7 @@ class PE:
 
     @property
     def matches(self) -> int:
-        return self._state.matches[self._row]
+        return int(self._state.matches[self._row])
 
     @matches.setter
     def matches(self, value: int) -> None:
@@ -188,7 +199,7 @@ class PE:
 
     @property
     def multi_round_tasks(self) -> int:
-        return self._state.multi_round_tasks[self._row]
+        return int(self._state.multi_round_tasks[self._row])
 
     @multi_round_tasks.setter
     def multi_round_tasks(self, value: int) -> None:
@@ -196,24 +207,24 @@ class PE:
 
     @property
     def finish_cycle(self) -> float:
-        return self._state.finish_cycle[self._row]
+        return float(self._state.finish_cycle[self._row])
 
     @finish_cycle.setter
     def finish_cycle(self, value: float) -> None:
         self._state.finish_cycle[self._row] = value
 
     @property
-    def depth_executed(self) -> List[int]:
+    def depth_executed(self) -> np.ndarray:
         """This PE's per-depth task counts (a live row of the vector)."""
         return self._state.depth_executed[self._row]
 
     @property
     def _busy_slot_cycles(self) -> float:
-        return self._state.busy_slot_cycles[self._row]
+        return float(self._state.busy_slot_cycles[self._row])
 
     @property
     def _idle_with_work_cycles(self) -> float:
-        return self._state.idle_with_work_cycles[self._row]
+        return float(self._state.idle_with_work_cycles[self._row])
 
     # ------------------------------------------------------------------
     # accounting helpers
@@ -222,10 +233,10 @@ class PE:
         now = self.engine.now
         state = self._state
         row = self._row
-        dt = now - state.last_integrate[row]
+        dt = now - float(state.last_integrate[row])
         if dt <= 0:
             return
-        used = state.slots_used[row]
+        used = int(state.slots_used[row])
         state.busy_slot_cycles[row] += used * dt
         if self.policy.has_work():
             idle_slots = self.config.execution_width - used
@@ -288,7 +299,7 @@ class PE:
 
     def _enter_unit(self, name: str, at: float) -> float:
         free_times = getattr(self._state, name + "_free")
-        free = free_times[self._row]
+        free = float(free_times[self._row])
         start = at if at >= free else free
         free_times[self._row] = start + self._unit_interval
         return start
@@ -305,16 +316,52 @@ class PE:
             self._integrate()
         state.slots_used[row] += 1
         task.state = _EXECUTING
+        macro = self._macro
+        if macro is not None:
+            # Macro-step core: books the whole task pipeline in one
+            # compiled call when every precondition holds, and falls
+            # back to the exact per-event booking below on any escape
+            # (miss, multi-round, instrumentation).  See
+            # ``sim/backend/macro.py`` for the escape taxonomy.
+            macro.start(self, task, now)
+        else:
+            self._book_task(task, now)
+
+    def _book_task(self, task: SimTask, now: float) -> None:
+        """The per-event booking path: every stage through Python."""
+        t = self._book_front(task, now)
+        if task.depth >= self._max_depth:
+            self._book_leaf(task, t)
+            return
+        (
+            inter_span,
+            graph_spans,
+            out_first,
+            out_last,
+            out_count,
+            segments,
+            total_lines,
+        ) = self._derive(task)
+        self._book_body(
+            task, t, inter_span, graph_spans,
+            out_first, out_last, out_count, segments, total_lines,
+        )
+
+    def _book_front(self, task: SimTask, now: float) -> float:
+        """Book decode + dispatch and fetch the task's vertex line.
+
+        The common front of every booking path; returns the time the
+        task leaves the dispatch unit with its vertex at hand.
+        """
+        state = self._state
+        row = self._row
         config = self.config
         interval = self._unit_interval
-        memory = self.memory
-        engine_post = self.engine.post
-
-        free = state.decode_free[row]
+        free = float(state.decode_free[row])
         start = now if now >= free else free
         state.decode_free[row] = start + interval
         t = start + config.decode_cycles
-        free = state.dispatch_free[row]
+        free = float(state.dispatch_free[row])
         start = t if t >= free else free
         state.dispatch_free[row] = start + interval
         t = start + config.dispatch_cycles
@@ -325,19 +372,29 @@ class PE:
         parent = task.parent
         if parent is not None and parent.set_address is not None:
             vertex_line = (parent.set_address + task.child_index * 4) // self._line_bytes
-            t = memory.fetch_intermediate_line(self.pe_id, vertex_line, t)
+            t = self.memory.fetch_intermediate_line(self.pe_id, vertex_line, t)
+        return t
 
-        if task.depth >= self._max_depth:
-            # Leaf task: report the match, no set operation.
-            free = state.spawn_free[row]
-            at = t + config.leaf_cycles
-            start = at if at >= free else free
-            state.spawn_free[row] = start + interval
-            t = start + self._post_spawn_cycles
-            engine_post(t, self, task)
-            return
+    def _book_leaf(self, task: SimTask, t: float) -> None:
+        """Leaf task: report the match, no set operation."""
+        state = self._state
+        row = self._row
+        free = float(state.spawn_free[row])
+        at = t + self.config.leaf_cycles
+        start = at if at >= free else free
+        state.spawn_free[row] = start + self._unit_interval
+        self.engine.post(start + self._post_spawn_cycles, self, task)
 
+    def _derive(self, task: SimTask):
+        """Expand a non-leaf task and size its working set.
+
+        Pure derivation — reads the search tree and the graph, writes
+        only ``task.expansion`` (and the parent's cached ``child_sets``)
+        — so it is safe to run before *or* after the decode/dispatch
+        booking; no booked resource state is consulted.
+        """
         # Ancestor sets inline (see _ancestor_sets): parent is at hand.
+        parent = task.parent
         if parent is None:
             sets = self._no_ancestor_sets
         else:
@@ -364,9 +421,30 @@ class PE:
         segments = (
             -(-comparisons // self._segment_elements) if comparisons > 0 else 0
         )
-
         inter_count = 0 if inter_span is None else inter_span[1] - inter_span[0] + 1
         total_lines = inter_count + graph_count + out_count
+        return (
+            inter_span, graph_spans,
+            out_first, out_last, out_count, segments, total_lines,
+        )
+
+    def _book_body(
+        self,
+        task: SimTask,
+        t: float,
+        inter_span: Optional[Tuple[int, int]],
+        graph_spans: List[Tuple[int, int]],
+        out_first: int,
+        out_last: int,
+        out_count: int,
+        segments: int,
+        total_lines: int,
+    ) -> None:
+        """Fetch, issue and FU stages of a derived non-leaf task."""
+        state = self._state
+        row = self._row
+        memory = self.memory
+        interval = self._unit_interval
         if total_lines <= self.spm_share:
             # Single round (the overwhelmingly common case): the whole
             # working set streams through as unbroken spans.
@@ -377,7 +455,7 @@ class PE:
             )
             t_graph = memory.fetch_graph_spans(self.pe_id, graph_spans, t) if graph_spans else t
             ready = t_inter if t_inter >= t_graph else t_graph
-            free = state.issue_free[row]
+            free = float(state.issue_free[row])
             start = ready if ready >= free else free
             state.issue_free[row] = start + interval
             t = self._iu_submit(segments, start + 1.0)
@@ -397,17 +475,23 @@ class PE:
                 ready = max(t_inter, t_graph)
                 ready = self._enter_unit("issue", ready) + 1.0
                 t = self.iu_pool.submit(schunk, ready)
+        self._book_tail(task, t, out_first, out_last, out_count)
 
+    def _book_tail(
+        self, task: SimTask, t: float, out_first: int, out_last: int, out_count: int
+    ) -> None:
+        """Writeback + spawn stages; posts the completion event."""
         # Writeback: the produced candidate set lands in the L1.
         if out_count:
-            memory.install_intermediate_span(self.pe_id, out_first, out_last)
-            wb = out_count / config.fetch_ports
+            self.memory.install_intermediate_span(self.pe_id, out_first, out_last)
+            wb = out_count / self.config.fetch_ports
             t += wb if wb > 1.0 else 1.0
-        free = state.spawn_free[row]
+        state = self._state
+        row = self._row
+        free = float(state.spawn_free[row])
         start = t if t >= free else free
-        state.spawn_free[row] = start + interval
-        t = start + self._post_spawn_cycles
-        engine_post(t, self, task)
+        state.spawn_free[row] = start + self._unit_interval
+        self.engine.post(start + self._post_spawn_cycles, self, task)
 
     def _ancestor_sets(self, task: SimTask) -> List[Optional[object]]:
         """Materialized candidate sets along this task's ancestor path.
