@@ -56,6 +56,32 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_kernels.json"
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_kernels_baseline.json"
 REGRESSION_LIMIT = 1.25
+#: Allowance for the frozen cross-session anchor (``PR9_GATE_CELL``).
+#: Wider than ``REGRESSION_LIMIT``: the committed baseline is re-recorded
+#: on the measuring machine so only short-term drift separates the two
+#: runs, while the anchor crosses sessions on shared single-vCPU runners
+#: whose co-tenant regime can shift the memory-heavy cells' CPI further
+#: than the L1-resident calibration spin registers.  It still catches a
+#: gross control-plane regression (the failure mode it exists for)
+#: without flapping under host contention.
+ANCHOR_LIMIT = 1.4
+
+#: The PR 9 perf-smoke record for the Shogun gate cell (cext, scale
+#: 0.3, this container), frozen as the compiled-control-plane
+#: regression anchor: the SoA scheduler rework runs on exactly this
+#: cell's path, so its CPU time must stay within ``REGRESSION_LIMIT``
+#: of the record after the usual calibration rescale.  CPU time, not
+#: the wall-clock kernel pairs — absolute cross-session comparisons
+#: need a clock that is blind to co-tenant load (see ``_best_of``).  A
+#: constant, not a baseline-file field, so a baseline regen cannot
+#: silently move the anchor.
+PR9_GATE_CELL = {
+    "name": "lj:4cl:shogun",
+    "scale": 0.3,
+    "cpu_s": 0.17817530199999965,
+    "calibration_cpu_s": 0.018286314999997444,
+    "backend": "cext",
+}
 
 #: Shared across the tests in this module; ``test_zz_emit_and_gate`` (which
 #: sorts last in file order) writes the file and applies the gate.
@@ -540,6 +566,200 @@ class TestKernelBackendCompiled:
         )
 
 
+class TestKernelTaskTree:
+    """Task-tree scheduler kernels: compiled vs the interpreted mirrors.
+
+    The control-plane kernels (`tree_select`/`tree_fill`/`tree_complete`)
+    run over a real ``TaskTreeState`` built from the evaluation config.
+    The compiled side binds through the backend's struct binder (or the
+    closure fallback, exactly as ``TaskTree._bind_kernels`` does); the
+    reference side is the interpreted ``_loops`` body under the pure
+    kernel set.  Both sides start from one snapshot and the full array
+    state is asserted equal afterwards — a speedup over a divergent
+    computation would be meaningless.  ``macro_run_of_tasks`` measures
+    the same control plane end to end: a whole shogun cell with the
+    scheduler in compiled kernels (batch dispatch included) against the
+    interpreted object path, metrics asserted identical.
+    """
+
+    @pytest.fixture(scope="class")
+    def kernel_sets(self):
+        availability = kernel_backend.available_backends()
+        name = next(
+            (n for n in ("cext", "numba") if availability[n][0]), None
+        )
+        if name is None:
+            pytest.skip("no compiled backend available (cffi/cc and numba missing)")
+        return (
+            kernel_backend._get_instance(name),
+            kernel_backend._get_instance("pure"),
+        )
+
+    @staticmethod
+    def _make_state(max_depth=5):
+        from repro.core.task_tree import TaskTreeState
+
+        return TaskTreeState(eval_config(), max_depth)
+
+    _ARRAYS = (
+        "b_in_use", "b_tree", "b_quiesced", "b_active", "b_executing",
+        "ring", "ring_head", "ring_len",
+        "e_vertex", "e_child_index", "e_token",
+        "tok_free", "tok_n", "ctl",
+    )
+
+    @classmethod
+    def _snapshot(cls, state):
+        return {name: getattr(state, name).copy() for name in cls._ARRAYS}
+
+    @classmethod
+    def _restore(cls, state, snap):
+        # In place: the cext struct binder pinned these buffers.
+        for name, saved in snap.items():
+            getattr(state, name)[:] = saved
+
+    @classmethod
+    def _assert_state_equal(cls, a, b):
+        for name in cls._ARRAYS:
+            np.testing.assert_array_equal(
+                getattr(a, name), getattr(b, name), err_msg=name
+            )
+
+    @staticmethod
+    def _bind(kernels, state):
+        """Bind tree ops the way ``TaskTree._bind_kernels`` does."""
+        binder = getattr(kernels, "tree_bind", None)
+        if binder is not None:
+            return binder(state)
+        s = state
+        shared = (
+            s.b_depth, s.b_cap, s.b_in_use, s.b_tree, s.b_quiesced,
+            s.b_active, s.b_executing, s.ring, s.ring_head, s.ring_len,
+            s.e_vertex, s.e_child_index, s.e_token,
+            s.tok_free, s.tok_n, s.d_start, s.d_end, s.ctl,
+            s.nb, s.cap, s.max_depth, s.tokens_per_depth,
+        )
+        select, fill = kernels.tree_select, kernels.tree_fill
+
+        class _Ops:
+            pass
+
+        ops = _Ops()
+        ops.select = lambda conservative, k, out: select(
+            *shared, conservative, k, out
+        )
+        ops.fill = lambda b, tree_id, quiesced, vertices, first, count: fill(
+            *shared, b, tree_id, quiesced, vertices, first, count
+        )
+        return ops
+
+    @classmethod
+    def _fill_all(cls, state, ops, vertices):
+        """Admit a full candidate span into every bunch (depths >= 1)."""
+        for b in range(int(state.d_start[1]), state.nb):
+            ops.fill(b, 1, 0, vertices, 0, int(state.b_cap[b]))
+
+    def test_tree_select(self, kernel_sets):
+        """Batch selection over a fully loaded tree: sibling preference,
+        round-robin, token acquisition, and — once each non-leaf depth's
+        pool drains — the fruitless token-validity stall scans."""
+        compiled, pure = kernel_sets
+        vertices = np.arange(64, dtype=np.int64)
+        out = np.zeros(256, dtype=np.int64)
+
+        def drain(state, ops):
+            while True:
+                n = ops.select(0, 8, out)
+                if n == 0:
+                    return
+
+        sides = {}
+        for name, kernels in (("compiled", compiled), ("pure", pure)):
+            state = self._make_state()
+            ops = self._bind(kernels, state)
+            self._fill_all(state, ops, vertices)
+            snap = self._snapshot(state)
+            drain(state, ops)
+            sides[name] = state
+
+            def run(state=state, ops=ops, snap=snap):
+                for _ in range(40):
+                    self._restore(state, snap)
+                    drain(state, ops)
+
+            sides[name + "_s"] = _best_of(run)
+        self._assert_state_equal(sides["compiled"], sides["pure"])
+        _record_kernel(
+            "tree_select", sides["compiled_s"], sides["pure_s"],
+            f"40 full-tree batch-select drains ({compiled.name} vs "
+            "interpreted loop), tokens exhausting per non-leaf depth",
+        )
+
+    def test_tree_fill(self, kernel_sets):
+        """Batch child admission: every bunch filled from one contiguous
+        candidate span per restore."""
+        compiled, pure = kernel_sets
+        vertices = np.arange(64, dtype=np.int64)
+
+        sides = {}
+        for name, kernels in (("compiled", compiled), ("pure", pure)):
+            state = self._make_state()
+            ops = self._bind(kernels, state)
+            snap = self._snapshot(state)
+            self._fill_all(state, ops, vertices)
+            sides[name] = state
+
+            def run(state=state, ops=ops, snap=snap):
+                for _ in range(100):
+                    self._restore(state, snap)
+                    self._fill_all(state, ops, vertices)
+
+            sides[name + "_s"] = _best_of(run)
+        self._assert_state_equal(sides["compiled"], sides["pure"])
+        _record_kernel(
+            "tree_fill", sides["compiled_s"], sides["pure_s"],
+            f"100 whole-tree bunch admissions ({compiled.name} vs "
+            "interpreted loop), 8-entry spans",
+        )
+
+    def test_macro_run_of_tasks(self, kernel_sets):
+        """The compiled control plane end to end: macro-step booking plus
+        scheduler kernels and batch dispatch vs the same run with the
+        scheduler pinned to the interpreted object path.  Bit-identical
+        metrics asserted before timing.  Full scale, like
+        ``engine_macro_drain``: the run-of-tasks win is per decision, and
+        the scaled-down stand-ins shrink decision counts until process
+        noise dominates."""
+        compiled, _ = kernel_sets
+        graph = load_dataset("lj", scale=1.0)
+        schedule = benchmark_schedule("4cl")
+        base = eval_config().replace(backend=compiled.name, macro_step=True)
+        kernel_config = base.replace(tree_kernels=True)
+        object_config = base.replace(tree_kernels=False)
+
+        def run_kernels():
+            return simulate(graph, schedule, policy="shogun",
+                            config=kernel_config)
+
+        def run_object():
+            return simulate(graph, schedule, policy="shogun",
+                            config=object_config)
+
+        before = kernel_backend.active()
+        try:
+            assert run_kernels().to_dict() == run_object().to_dict()
+            vec = _best_of(run_kernels, repeats=5, clock=time.process_time)
+            ref = _best_of(run_object, repeats=5, clock=time.process_time)
+        finally:
+            kernel_backend._install(before)
+        _record_kernel(
+            "macro_run_of_tasks", vec, ref,
+            f"lj 4-clique shogun end-to-end at full scale, {compiled.name} "
+            "scheduler kernels + batch dispatch vs interpreted object path "
+            "(bit-identical metrics)",
+        )
+
+
 def _noop():
     pass
 
@@ -876,4 +1096,46 @@ def test_zz_emit_and_gate(scale):
             f"(macro {macro['vectorized_s']:.3f}s vs per-event "
             f"{macro['reference_s']:.3f}s)"
         )
+    # The compiled control plane's acceptance bars (the SoA task tree):
+    # the end-to-end gate cell must hold >= 1.3x compiled-vs-per-event
+    # (the stricter 2.0x clause above enforces it), at least two of the
+    # scheduler kernels must reach 2x over the interpreted loops, and
+    # the Shogun gate cell must not regress past the frozen PR 9 record
+    # — the rebuilt scheduler is that cell's control plane, so slowing
+    # it down would mean the SoA rework cost more than the kernels earn
+    # back.
+    tree_records = {
+        name: RESULTS["kernels"][name]
+        for name in ("tree_select", "tree_fill", "macro_run_of_tasks")
+        if name in RESULTS["kernels"]
+    }
+    if tree_records:
+        fast = [n for n, r in tree_records.items() if r["speedup"] >= 2.0]
+        if len(fast) < 2:
+            summary = ", ".join(
+                f"{n}={r['speedup']:.2f}×" for n, r in tree_records.items()
+            )
+            failures.append(
+                f"scheduler kernels reached 2× on only {len(fast)} "
+                f"(need >=2): {summary}"
+            )
+    anchor_cell = RESULTS["cells"].get(PR9_GATE_CELL["name"])
+    if (
+        anchor_cell is not None
+        and payload["backend"] == PR9_GATE_CELL["backend"]
+        and scale == PR9_GATE_CELL["scale"]
+    ):
+        anchor_speed = max(
+            calibration / PR9_GATE_CELL["calibration_cpu_s"], 1.0
+        )
+        allowed = (
+            PR9_GATE_CELL["cpu_s"] * anchor_speed * ANCHOR_LIMIT
+        )
+        if anchor_cell["cpu_s"] > allowed:
+            failures.append(
+                f"{PR9_GATE_CELL['name']}: {anchor_cell['cpu_s']:.3f}s > "
+                f"allowed {allowed:.3f}s (PR 9 anchor "
+                f"{PR9_GATE_CELL['cpu_s']:.3f}s × speed "
+                f"{anchor_speed:.2f} × {ANCHOR_LIMIT})"
+            )
     assert not failures, "performance regression:\n" + "\n".join(failures)

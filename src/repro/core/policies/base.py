@@ -81,6 +81,7 @@ class SchedulingPolicy(abc.ABC):
         child_index: int = 0,
     ) -> SimTask:
         """Create a READY child task extending ``parent`` with ``vertex``."""
+        vertex = int(vertex)  # candidate spans are int64 arrays
         embedding = (parent.embedding + (vertex,)) if parent is not None else (vertex,)
         task = SimTask(
             depth=depth,

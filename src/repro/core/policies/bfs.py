@@ -110,7 +110,8 @@ class BFSPolicy(SchedulingPolicy):
             depth += 1
             next_level: List[SimTask] = []
             for parent in level:
-                for position, v in enumerate(parent.children_vertices or []):
+                kids = parent.children_vertices
+                for position, v in enumerate(kids if kids is not None else ()):
                     child = self._make_task(parent, v, depth, tree, child_index=position)
                     if depth < self.pe.schedule.max_depth:
                         self._assign_buffer(child, len(next_level))

@@ -91,8 +91,9 @@ class GroupDFSPolicy(SchedulingPolicy):
         root_task = self._make_task(None, root, depth=0, tree=tree)
         self._assign_buffer(root_task, 0)
         yield [root_task]
-        if root_task.children_vertices:
-            yield from self._explore(root_task, root_task.children_vertices, 1, tree)
+        kids = root_task.children_vertices
+        if kids is not None and len(kids):
+            yield from self._explore(root_task, kids, 1, tree)
         self._release_set(root_task)
 
     def _explore(
@@ -108,10 +109,9 @@ class GroupDFSPolicy(SchedulingPolicy):
                 tasks.append(task)
             yield tasks  # barrier: every task of the group must complete
             for task in tasks:
-                if task.children_vertices:
-                    yield from self._explore(
-                        task, task.children_vertices, depth + 1, tree
-                    )
+                kids = task.children_vertices
+                if kids is not None and len(kids):
+                    yield from self._explore(task, kids, depth + 1, tree)
                 self._release_set(task)
 
     def _release_set(self, task: SimTask) -> None:

@@ -34,8 +34,9 @@ class _TreeWalker:
         task = self.policy._make_task(None, root, depth=0, tree=tree)
         self.policy._assign_buffer_column(task, self.slot)
         yield task
-        if task.children_vertices:
-            yield from self._explore(task, task.children_vertices, 1, tree)
+        kids = task.children_vertices
+        if kids is not None and len(kids):
+            yield from self._explore(task, kids, 1, tree)
         self.policy._release_set(task)
 
     def _explore(
@@ -46,8 +47,9 @@ class _TreeWalker:
             if depth < self.policy.pe.schedule.max_depth:
                 self.policy._assign_buffer_column(task, self.slot)
             yield task
-            if task.children_vertices:
-                yield from self._explore(task, task.children_vertices, depth + 1, tree)
+            kids = task.children_vertices
+            if kids is not None and len(kids):
+                yield from self._explore(task, kids, depth + 1, tree)
             self.policy._release_set(task)
 
 

@@ -43,12 +43,16 @@ class ShogunPolicy(SchedulingPolicy):
 
     # ------------------------------------------------------------------
     def wants_root(self) -> bool:
-        if self.tree.free_root_slots() == 0:
-            return False
-        if not self.tree.has_work():
-            return True
-        # A second tree is only taken when merging decides it pays off.
-        return self.merger is not None and self.merger.can_merge()
+        # Checked once per dispatch while the tree is busy, so the common
+        # live-tree/no-merging case must answer from plain attributes
+        # without touching the SoA arrays.
+        if self.tree.has_work():
+            if self.merger is None:
+                return False
+            # A second tree is only taken when merging decides it pays
+            # off (free slots first: can_merge() counts accepted merges).
+            return self.tree.free_root_slots() > 0 and self.merger.can_merge()
+        return self.tree.free_root_slots() > 0
 
     def add_root(self, vertex: int) -> None:
         self.tree.add_root(vertex, self.pe.accel.next_tree_id())
@@ -59,6 +63,22 @@ class ShogunPolicy(SchedulingPolicy):
         override = self._conservative_override
         return self.tree.select(
             self.monitor.conservative if override is None else override
+        )
+
+    def select_tasks(self, limit: int) -> List[SimTask]:
+        """Batch form of :meth:`select_task` for the dispatch drain.
+
+        One monitor check, then one ``tree_select`` call schedules up to
+        ``limit`` tasks — exactly equivalent to ``limit`` single calls
+        (the monitor epoch cannot advance mid-dispatch: all selections
+        share one engine timestamp).
+        """
+        if self._engine.now >= self._next_epoch:
+            self._update_monitor()
+        override = self._conservative_override
+        return self.tree.select_batch(
+            self.monitor.conservative if override is None else override,
+            limit,
         )
 
     def on_task_complete(self, task: SimTask) -> None:

@@ -82,8 +82,13 @@ class SimTask:
     live_children: int = 0
 
     # Simulator back-pointers (hot-path bookkeeping) ----------------------
-    #: The task-tree bunch currently holding this entry.
-    bunch: Optional[object] = None
+    #: Global index of the task-tree bunch currently holding this entry
+    #: (an index into the tree's struct-of-arrays state; ``None`` for
+    #: tasks built outside the tree).
+    bunch: Optional[int] = None
+    #: Global entry-slot index inside the task tree's SoA state (-1 for
+    #: tasks that never occupied an entry).
+    slot: int = -1
     #: Materialized ancestor candidate sets visible to this task's
     #: children, cached so siblings share one list instead of each child
     #: re-walking the parent chain.
@@ -127,7 +132,7 @@ class SimTask:
         remaining = self.children_vertices[self.next_child :]
         if parts < 1:
             raise ValueError("parts must be >= 1")
-        chunk = -(-len(remaining) // parts) if remaining else 0
+        chunk = -(-len(remaining) // parts) if len(remaining) else 0
         shares = [remaining[i : i + chunk] for i in range(0, len(remaining), chunk)] if chunk else []
         return shares
 

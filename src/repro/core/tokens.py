@@ -98,6 +98,64 @@ class TokenPool:
         self.target = count
 
 
+class ArrayTokenPool:
+    """:class:`TokenPool`-compatible view over the task tree's token arrays.
+
+    The struct-of-arrays task tree keeps its token state in two flat
+    ``int64`` arrays (a LIFO free stack per depth plus a free count) so
+    compiled scheduler kernels can acquire and release without touching
+    Python.  This adapter exposes the slice of those arrays for one depth
+    through the :class:`TokenPool` object API — ``acquire``/``release``/
+    ``available``/``held`` — which is what the validation harness wraps
+    and checks.  Because the adapter reads and writes the *same* memory
+    the kernels do, the object view and the kernel view can never drift.
+
+    Deliberately a plain class (no ``__slots__``): the invariant checker
+    installs instrumented ``acquire``/``release`` as instance attributes.
+
+    The stack discipline is bit-compatible with :class:`TokenPool`:
+    the free stack is initialized ``[count-1 .. 0]`` with the top at the
+    end, so token 0 is acquired first and releases push back on top.
+    ``resize`` is unsupported — the tree never resizes its pools.
+    """
+
+    def __init__(self, free_view, count_view, target: int) -> None:
+        self._free = free_view          # int64[target] slice, shared memory
+        self._count = count_view        # int64[1] slice, shared memory
+        self.target = target
+
+    @property
+    def available(self) -> int:
+        """Number of free tokens."""
+        return int(self._count[0])
+
+    @property
+    def held(self) -> int:
+        """Number of tokens currently held by live candidate sets."""
+        return self.target - int(self._count[0])
+
+    def acquire(self) -> Optional[int]:
+        """Take a token, or ``None`` when the pool is exhausted."""
+        n = int(self._count[0])
+        if n == 0:
+            return None
+        n -= 1
+        self._count[0] = n
+        return int(self._free[n])
+
+    def release(self, token: int) -> None:
+        """Return a token to the pool; double release is a simulator bug."""
+        n = int(self._count[0])
+        if n >= self.target or token < 0 or token >= self.target:
+            raise SimulationError(f"release of token {token} not held")
+        free = self._free
+        for i in range(n):
+            if free[i] == token:
+                raise SimulationError(f"release of token {token} not held")
+        free[n] = token
+        self._count[0] = n + 1
+
+
 class SetBufferMap:
     """Byte addresses of preallocated intermediate-set buffers.
 

@@ -126,7 +126,7 @@ def mine(
         stats.children_spawned += len(children)
         stats.children_pruned += len(expansion.candidates) - len(children)
         for child in children:
-            embedding.append(child)
+            embedding.append(int(child))
             keep_going = visit(embedding)
             embedding.pop()
             if not keep_going:

@@ -327,13 +327,16 @@ class SearchContext:
 
     def children(
         self, embedding: Sequence[int], candidates: np.ndarray
-    ) -> List[int]:
+    ) -> np.ndarray:
         """Valid child vertices at depth ``len(embedding)``.
 
         Applies the symmetry-breaking upper bound (ascending scan cut-off)
         and drops vertices already used by the embedding.  The returned
-        list is ascending — the order in which the task tree fetches
-        candidate vertices.
+        ``int64`` array is ascending — the order in which the task tree
+        fetches candidate vertices — and is one contiguous span per
+        parent, which is what the task tree's batch child admission
+        (``tree_fill``) consumes directly.  Callers must treat it as
+        read-only: it may alias the candidate set.
         """
         d = len(embedding)
         total = len(candidates)
@@ -343,22 +346,21 @@ class SearchContext:
             kept = candidates[: int(np.searchsorted(candidates, bound, side="left"))]
         else:
             kept = candidates
-        out = kept.tolist()
         check = self._used_positions[d]
-        if check and out:
-            drop = None
+        if check and len(kept):
+            hits: List[int] = []
             for p in check:
                 v = int(embedding[p])
                 i = int(np.searchsorted(kept, v))
-                if i < len(out) and out[i] == v:
-                    drop = i if drop is None else drop
-                    out[i] = None
-            if drop is not None:
-                out = [x for x in out if x is not None]
+                if i < len(kept) and kept[i] == v:
+                    hits.append(i)
+            if hits:
+                # Embedding vertices are distinct, so hit indices are too.
+                kept = np.delete(kept, hits)
         self.candidates_seen += total
-        self.children_kept += len(out)
-        self.children_pruned += total - len(out)
-        return out
+        self.children_kept += len(kept)
+        self.children_pruned += total - len(kept)
+        return kept
 
     def is_leaf_depth(self, depth: int) -> bool:
         """Whether ``depth`` is the final search depth (no spawning)."""

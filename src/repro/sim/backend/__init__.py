@@ -80,6 +80,11 @@ def _make_pure() -> KernelSet:
         # per-event booking, but lets the parity suite force the macro
         # path under the pure backend (config.macro_step=True).
         task_fastpath=_loops.task_fastpath_loop,
+        # Interpreted task-tree scheduler kernels, for the same reason:
+        # config.tree_kernels=True differential-tests them under pure.
+        tree_select=_loops.tree_select_loop,
+        tree_fill=_loops.tree_fill_loop,
+        tree_complete=_loops.tree_complete_loop,
     )
 
 

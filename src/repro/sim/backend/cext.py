@@ -498,6 +498,213 @@ int64_t repro_task_fastpath(repro_core_t *c, double now, int64_t is_leaf,
     return 0;
 }
 
+/* Task-tree scheduler kernels: C mirrors of tree_select_loop /
+ * tree_fill_loop / tree_complete_loop in _loops.py, statement for
+ * statement.  One struct per task tree holds the pinned pointers into
+ * the tree's struct-of-arrays numpy state plus its layout scalars, so
+ * a scheduler call marshals only the per-call scalars.  The ctl word
+ * indices and DONE_* return codes are the module constants of
+ * repro.core.task_tree.
+ */
+typedef struct {
+    int64_t *b_depth;
+    int64_t *b_cap;
+    int64_t *b_in_use;
+    int64_t *b_tree;
+    int64_t *b_quiesced;
+    int64_t *b_active;
+    int64_t *b_executing;
+    int64_t *ring;
+    int64_t *ring_head;
+    int64_t *ring_len;
+    int64_t *e_vertex;
+    int64_t *e_child_index;
+    int64_t *e_token;
+    int64_t *tok_free;
+    int64_t *tok_n;
+    int64_t *d_start;
+    int64_t *d_end;
+    int64_t *ctl;
+    int64_t nb;
+    int64_t cap;
+    int64_t max_depth;
+    int64_t tokens_per_depth;
+} repro_tree_t;
+
+/* Schedule one Ready entry out of bunch b; -1 = token stall. */
+static int64_t repro_tree_sched(repro_tree_t *t, int64_t b)
+{
+    int64_t depth = t->b_depth[b];
+    int leaf = depth >= t->max_depth;
+    int64_t cap = t->cap;
+    int64_t base = b * cap;
+    int64_t head = t->ring_head[b];
+    int64_t length = t->ring_len[b];
+    int64_t slot = -1;
+    if (leaf || t->tok_n[depth] > 0) {
+        slot = t->ring[base + head];
+        t->ring_head[b] = (head + 1) % cap;
+        t->ring_len[b] = length - 1;
+    } else {
+        /* Pool drained: an entry already holding a token is still
+         * valid (ordered middle deletion from the ready ring). */
+        for (int64_t j = 0; j < length; j++) {
+            int64_t cand = t->ring[base + (head + j) % cap];
+            if (t->e_token[cand] >= 0) {
+                slot = cand;
+                for (int64_t m = j; m < length - 1; m++) {
+                    t->ring[base + (head + m) % cap] =
+                        t->ring[base + (head + m + 1) % cap];
+                }
+                t->ring_len[b] = length - 1;
+                break;
+            }
+        }
+        if (slot < 0) {
+            t->ctl[6] += 1;  /* CTL_STALLS */
+            return -1;
+        }
+    }
+    t->ctl[0] -= 1;  /* CTL_READY */
+    if (!leaf && t->e_token[slot] < 0) {
+        int64_t n_free = t->tok_n[depth] - 1;
+        t->tok_n[depth] = n_free;
+        t->e_token[slot] = t->tok_free[depth * t->tokens_per_depth + n_free];
+    }
+    t->b_executing[b] += 1;
+    t->ctl[1] += 1;  /* CTL_EXECUTING */
+    t->ctl[3] = b;   /* CTL_EXEC_BUNCH */
+    t->ctl[2] = b;   /* CTL_LAST_BUNCH */
+    t->ctl[5] += 1;  /* CTL_SCHEDULED */
+    return slot;
+}
+
+int64_t repro_tree_select(repro_tree_t *t, int64_t conservative, int64_t k,
+                          int64_t *out_slots)
+{
+    int64_t count = 0;
+    int64_t nb = t->nb;
+    while (count < k) {
+        if (t->ctl[0] == 0) break;
+        int64_t picked = -1;
+        if (conservative == 1 && t->ctl[1] > 0) {
+            /* Conservative: only the executing bunch, no fallback. */
+            int64_t b = t->ctl[3];
+            if (b >= 0 && t->ring_len[b] != 0 && t->b_quiesced[b] == 0)
+                picked = repro_tree_sched(t, b);
+        } else {
+            int64_t last = t->ctl[2];
+            int64_t start = t->ctl[4];  /* CTL_RR_CURSOR */
+            if (last >= 0 && t->ring_len[last] != 0 &&
+                t->b_quiesced[last] == 0)
+                picked = repro_tree_sched(t, last);
+            if (picked < 0) {
+                for (int64_t off = 0; off < nb; off++) {
+                    int64_t b = (start + off) % nb;
+                    if (b == last || t->ring_len[b] == 0 ||
+                        t->b_quiesced[b] != 0)
+                        continue;
+                    t->ctl[4] = (start + off + 1) % nb;
+                    picked = repro_tree_sched(t, b);
+                    if (picked >= 0) break;
+                }
+            }
+        }
+        if (picked < 0) break;
+        out_slots[count++] = picked;
+    }
+    return count;
+}
+
+int64_t repro_tree_fill(repro_tree_t *t, int64_t b, int64_t tree_id,
+                        int64_t quiesced, const int64_t *vertices,
+                        int64_t first, int64_t count)
+{
+    t->b_in_use[b] = 1;
+    t->b_tree[b] = tree_id;
+    t->b_quiesced[b] = quiesced;
+    int64_t base = b * t->cap;
+    for (int64_t i = 0; i < count; i++) {
+        int64_t slot = base + i;
+        t->e_vertex[slot] = vertices[first + i];
+        t->e_child_index[slot] = first + i;
+        t->e_token[slot] = -1;
+        t->ring[slot] = slot;
+    }
+    t->ring_head[b] = 0;
+    t->ring_len[b] = count;
+    t->ctl[0] += count;
+    t->b_active[b] = count;
+    return count;
+}
+
+int64_t repro_tree_complete(repro_tree_t *t, int64_t slot, int64_t b,
+                            int64_t has_children, const int64_t *children,
+                            int64_t first, int64_t navail,
+                            int64_t parent_unexplored, int64_t ext_vertex,
+                            int64_t ext_position, int64_t tree_quiesced,
+                            int64_t *out)
+{
+    t->b_executing[b] -= 1;
+    t->ctl[1] -= 1;
+    if (has_children == 1) {
+        int64_t child_depth = t->b_depth[b] + 1;
+        int64_t target = -1;
+        for (int64_t bb = t->d_start[child_depth];
+             bb < t->d_end[child_depth]; bb++) {
+            if (t->b_in_use[bb] == 0) { target = bb; break; }
+        }
+        if (target < 0) {
+            t->ctl[7] += 1;  /* CTL_WAITS */
+            return 1;        /* DONE_WAITING */
+        }
+        int64_t cnt = navail - first;
+        if (cnt > t->b_cap[target]) cnt = t->b_cap[target];
+        if (cnt <= 0) return 5;  /* DONE_UNDERFLOW */
+        t->b_in_use[target] = 1;
+        t->b_tree[target] = t->b_tree[b];
+        t->b_quiesced[target] = tree_quiesced;
+        int64_t tbase = target * t->cap;
+        for (int64_t i = 0; i < cnt; i++) {
+            int64_t ts = tbase + i;
+            t->e_vertex[ts] = children[first + i];
+            t->e_child_index[ts] = first + i;
+            t->e_token[ts] = -1;
+            t->ring[ts] = ts;
+        }
+        t->ring_head[target] = 0;
+        t->ring_len[target] = cnt;
+        t->ctl[0] += cnt;
+        t->b_active[target] = cnt;
+        out[0] = target;
+        out[1] = cnt;
+        return 0;  /* DONE_SPAWNED */
+    }
+    if (parent_unexplored > 0) {
+        /* Extend: entry and address token explore the parent's next
+         * unexplored candidate. */
+        t->e_vertex[slot] = ext_vertex;
+        t->e_child_index[slot] = ext_position;
+        t->ring[b * t->cap +
+                (t->ring_head[b] + t->ring_len[b]) % t->cap] = slot;
+        t->ring_len[b] += 1;
+        t->ctl[0] += 1;
+        return 2;  /* DONE_EXTENDED */
+    }
+    int64_t tok = t->e_token[slot];
+    if (tok >= 0) {
+        int64_t depth = t->b_depth[b];
+        int64_t n_free = t->tok_n[depth];
+        t->tok_free[depth * t->tokens_per_depth + n_free] = tok;
+        t->tok_n[depth] = n_free + 1;
+        t->e_token[slot] = -1;
+    }
+    t->b_active[b] -= 1;
+    if (t->b_active[b] < 0) return 5;  /* DONE_UNDERFLOW */
+    if (t->b_active[b] == 0) return 4; /* DONE_RECYCLE */
+    return 3;  /* DONE_IDLED */
+}
+
 """
 
 CDEF = """
@@ -554,6 +761,41 @@ int64_t repro_task_fastpath(repro_core_t *c, double now, int64_t is_leaf,
                             int64_t out_first, int64_t out_last,
                             int64_t out_count, int64_t segments,
                             int64_t nspans);
+typedef struct {
+    int64_t *b_depth;
+    int64_t *b_cap;
+    int64_t *b_in_use;
+    int64_t *b_tree;
+    int64_t *b_quiesced;
+    int64_t *b_active;
+    int64_t *b_executing;
+    int64_t *ring;
+    int64_t *ring_head;
+    int64_t *ring_len;
+    int64_t *e_vertex;
+    int64_t *e_child_index;
+    int64_t *e_token;
+    int64_t *tok_free;
+    int64_t *tok_n;
+    int64_t *d_start;
+    int64_t *d_end;
+    int64_t *ctl;
+    int64_t nb;
+    int64_t cap;
+    int64_t max_depth;
+    int64_t tokens_per_depth;
+} repro_tree_t;
+int64_t repro_tree_select(repro_tree_t *t, int64_t conservative, int64_t k,
+                          int64_t *out_slots);
+int64_t repro_tree_fill(repro_tree_t *t, int64_t b, int64_t tree_id,
+                        int64_t quiesced, const int64_t *vertices,
+                        int64_t first, int64_t count);
+int64_t repro_tree_complete(repro_tree_t *t, int64_t slot, int64_t b,
+                            int64_t has_children, const int64_t *children,
+                            int64_t first, int64_t navail,
+                            int64_t parent_unexplored, int64_t ext_vertex,
+                            int64_t ext_position, int64_t tree_quiesced,
+                            int64_t *out);
 """
 
 CFLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
@@ -923,6 +1165,97 @@ class _CLib:
 
             books.append(book)
         return books
+
+    def tree_bind(self, state):
+        """Per-tree scheduler bindings: one ``repro_tree_t`` struct with
+        pinned pointers into the tree's struct-of-arrays numpy state.
+
+        The returned ops object carries ``select``/``fill``/``complete``
+        closures over the struct; a call marshals only the per-call
+        scalars plus the (ephemeral) candidate span.  ``from_buffer``
+        pins every array for the life of the ops object, which the
+        owning :class:`~repro.core.task_tree.TaskTree` holds.
+        """
+        ffi = self._ffi
+        i64 = self._i64
+        keep = []
+
+        def ip(arr):
+            p = ffi.from_buffer(i64, arr, require_writable=True)
+            keep.append(p)
+            return p
+
+        tree = ffi.new("repro_tree_t *")
+        tree.b_depth = ip(state.b_depth)
+        tree.b_cap = ip(state.b_cap)
+        tree.b_in_use = ip(state.b_in_use)
+        tree.b_tree = ip(state.b_tree)
+        tree.b_quiesced = ip(state.b_quiesced)
+        tree.b_active = ip(state.b_active)
+        tree.b_executing = ip(state.b_executing)
+        tree.ring = ip(state.ring)
+        tree.ring_head = ip(state.ring_head)
+        tree.ring_len = ip(state.ring_len)
+        tree.e_vertex = ip(state.e_vertex)
+        tree.e_child_index = ip(state.e_child_index)
+        tree.e_token = ip(state.e_token)
+        tree.tok_free = ip(state.tok_free)
+        tree.tok_n = ip(state.tok_n)
+        tree.d_start = ip(state.d_start)
+        tree.d_end = ip(state.d_end)
+        tree.ctl = ip(state.ctl)
+        tree.nb = state.nb
+        tree.cap = state.cap
+        tree.max_depth = state.max_depth
+        tree.tokens_per_depth = state.tokens_per_depth
+
+        lib = self._lib
+        from_buffer = ffi.from_buffer
+        # The out buffers are per-tree and long-lived: pin them once.
+        out_cache = {}
+
+        def pout(out):
+            p = out_cache.get(id(out))
+            if p is None:
+                p = ffi.from_buffer(i64, out, require_writable=True)
+                out_cache[id(out)] = p
+            return p
+
+        class _TreeOps:
+            __slots__ = ("select", "fill", "complete", "_keep")
+
+        ops = _TreeOps()
+        ops._keep = (tree, keep, out_cache)
+
+        def select(conservative, k, out,
+                   _t=tree, _f=lib.repro_tree_select, _p=pout):
+            return _f(_t, conservative, k, _p(out))
+
+        def fill(b, tree_id, quiesced, vertices, first, count,
+                 _t=tree, _f=lib.repro_tree_fill, _fb=from_buffer, _i64=i64):
+            return _f(_t, b, tree_id, quiesced, _fb(_i64, vertices),
+                      first, count)
+
+        # Leaf completions (no children) dominate and never read the
+        # children span — hand the kernel a static dummy instead of
+        # pinning the caller's empty array on every call.
+        null_children = ffi.new("int64_t[1]")
+        keep.append(null_children)
+
+        def complete(slot, b, has_children, children, first, navail,
+                     parent_unexplored, ext_vertex, ext_position,
+                     tree_quiesced, out,
+                     _t=tree, _f=lib.repro_tree_complete, _fb=from_buffer,
+                     _i64=i64, _p=pout, _null=null_children):
+            return _f(_t, slot, b, has_children,
+                      _null if not has_children else _fb(_i64, children),
+                      first, navail, parent_unexplored, ext_vertex,
+                      ext_position, tree_quiesced, _p(out))
+
+        ops.select = select
+        ops.fill = fill
+        ops.complete = complete
+        return ops
 
 
 def make_kernels():

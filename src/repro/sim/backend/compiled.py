@@ -44,7 +44,9 @@ class KernelSet:
 
     def __init__(self, name, compiled, intersect, subtract, intersect_multi,
                  span_resident_stamp, ema_fold,
-                 task_fastpath=None, macro_bind=None):
+                 task_fastpath=None, macro_bind=None,
+                 tree_select=None, tree_fill=None, tree_complete=None,
+                 tree_bind=None):
         self.name = name
         self.compiled = compiled
         self.intersect = intersect
@@ -61,6 +63,17 @@ class KernelSet:
         #: per-PE structs); ``None`` to bind ``task_fastpath`` through
         #: the generic numpy-view binder in :mod:`.macro`.
         self.macro_bind = macro_bind
+        #: Task-tree scheduler kernels with the ``tree_*_loop``
+        #: signatures of :mod:`._loops` (``TaskTree._bind_kernels``
+        #: closes them over one tree's struct-of-arrays state).
+        self.tree_select = tree_select
+        self.tree_fill = tree_fill
+        self.tree_complete = tree_complete
+        #: Backend-native tree binder ``(state) -> ops`` returning an
+        #: object with ``select``/``fill``/``complete`` (the C extension
+        #: pre-marshals the tree's array pointers into one struct);
+        #: ``None`` to close the loop kernels over numpy views.
+        self.tree_bind = tree_bind
 
     #: Kernel attributes eligible for per-kernel instrumentation.
     KERNELS = (
@@ -175,4 +188,8 @@ def make_kernel_set(name: str, lib) -> KernelSet:
         span_resident_stamp, ema_fold,
         task_fastpath=getattr(lib, "task_fastpath_loop", None),
         macro_bind=getattr(lib, "macro_bind", None),
+        tree_select=getattr(lib, "tree_select_loop", None),
+        tree_fill=getattr(lib, "tree_fill_loop", None),
+        tree_complete=getattr(lib, "tree_complete_loop", None),
+        tree_bind=getattr(lib, "tree_bind", None),
     )

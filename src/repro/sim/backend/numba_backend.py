@@ -39,6 +39,11 @@ class _JittedLib:
         # Macro-step core: bound per PE by the generic numpy-view
         # binder in .macro (the jitted signature matches _loops).
         self.task_fastpath_loop = jit(_loops.task_fastpath_loop)
+        # Task-tree scheduler kernels: closed over each tree's arrays
+        # by TaskTree._bind_kernels (signatures match _loops).
+        self.tree_select_loop = jit(_loops.tree_select_loop)
+        self.tree_fill_loop = jit(_loops.tree_fill_loop)
+        self.tree_complete_loop = jit(_loops.tree_complete_loop)
 
     def intersect_multi_loop(self, arrays, out, scratch):
         """Chained pairwise intersections, ping-ponging out/scratch.

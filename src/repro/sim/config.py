@@ -111,6 +111,15 @@ class SimConfig:
     #: per-event path.  All settings produce byte-identical metrics, so
     #: like ``backend`` this is a speed knob, not a model knob.
     macro_step: Optional[bool] = None
+    #: Task-tree scheduler kernels: run the hot tree decisions
+    #: (``tree_select``/``tree_fill``/``tree_complete``) as compiled
+    #: backend calls over the tree's struct-of-arrays state.  None =
+    #: auto (on exactly when the active kernel backend is compiled);
+    #: True forces them on even under the pure backend (the interpreted
+    #: reference loops — slower, used by the differential suite); False
+    #: pins the interpreted object path.  All settings produce
+    #: byte-identical metrics: a speed knob, not a model knob.
+    tree_kernels: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.num_pes < 1:
@@ -147,6 +156,8 @@ class SimConfig:
             )
         if self.macro_step not in (None, True, False):
             raise ConfigError("macro_step must be None, True or False")
+        if self.tree_kernels not in (None, True, False):
+            raise ConfigError("tree_kernels must be None, True or False")
 
     # ------------------------------------------------------------------
     def replace(self, **changes) -> "SimConfig":

@@ -167,6 +167,10 @@ class PE:
         self._iu_recent = 0.0
 
         self.policy: "SchedulingPolicy" = policy_factory(self)
+        # Batch dispatch drain: policies exposing select_tasks (Shogun's
+        # compiled run-of-tasks over the task tree) fill all free slots
+        # in one call; others fall back to per-slot select_task.
+        self._select_many = getattr(self.policy, "select_tasks", None)
 
     # ------------------------------------------------------------------
     # state-vector row views (external readers/writers: invariants,
@@ -288,13 +292,23 @@ class PE:
             self._integrate()
         self.accel.feed_roots(self)
         width = self.config.execution_width
-        select_task = self.policy.select_task
         slots = state.slots_used
-        while slots[row] < width:
-            task = select_task()
-            if task is None:
-                break
-            self._start_task(task)
+        select_many = self._select_many
+        if select_many is not None:
+            # Equivalent to the per-slot loop: bookings never mutate
+            # tree state, so one batch selection drains all free slots,
+            # stopping (like the loop) at the first failed selection.
+            free = int(width - slots[row])
+            if free > 0:
+                for task in select_many(free):
+                    self._start_task(task)
+        else:
+            select_task = self.policy.select_task
+            while slots[row] < width:
+                task = select_task()
+                if task is None:
+                    break
+                self._start_task(task)
         self.accel.check_done()
 
     def _enter_unit(self, name: str, at: float) -> float:

@@ -57,12 +57,12 @@ class TestReuseWithNoResidual:
         root = 0
         exp1 = ctx.expand((root,))
         kids1 = ctx.children((root,), exp1.candidates)
-        if not kids1:
+        if not len(kids1):
             pytest.skip("root 0 has no children under this schedule")
         v1 = kids1[0]
         exp2 = ctx.expand((root, v1), [None, exp1.candidates, None, None])
         kids2 = ctx.children((root, v1), exp2.candidates)
-        if not kids2:
+        if not len(kids2):
             pytest.skip("no depth-2 task to exercise")
         exp3 = ctx.expand((root, v1, kids2[0]), [None, exp1.candidates, exp2.candidates, None])
         assert exp3.reused_depth == 1

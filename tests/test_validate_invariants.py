@@ -150,7 +150,8 @@ class TestMutations:
     def test_token_accounting(self, base):
         def leak_token(accel, checker):
             pools = accel.pes[0].policy.tree.tokens
-            next(iter(pools.values()))._held.add(999)
+            # Drop a free-count unit: held rises without an acquire.
+            next(iter(pools.values()))._count[0] -= 1
 
         checker = run_mutated(*base, post_run=leak_token)
         assert fired(checker) == {"token-accounting"}
